@@ -1,0 +1,289 @@
+package eblocks
+
+// Benchmarks regenerating the paper's evaluation artifacts (see
+// EXPERIMENTS.md for the experiment index):
+//
+//	E1 Table 1  -> BenchmarkTable1PareDown, BenchmarkTable1Exhaustive
+//	E2 Table 2  -> BenchmarkTable2PareDown/n=*, BenchmarkTable2Exhaustive/n=*
+//	E3 §5.2     -> BenchmarkScaling465
+//	E4 Figure 5 -> BenchmarkFigure5PodiumTimer3
+//	A1–A3       -> BenchmarkAblation*, BenchmarkHeteroPareDown
+//
+// plus pipeline micro-benchmarks (simulation, merge, full synthesis).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/randgen"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// BenchmarkTable1PareDown runs the PareDown heuristic over all 15
+// Table 1 library designs per iteration (E1, heuristic columns).
+func BenchmarkTable1PareDown(b *testing.B) {
+	lib := designs.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range lib {
+			if _, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Exhaustive runs the optimal search over the library
+// designs with at most 13 partitionable blocks (E1, exhaustive
+// columns).
+func BenchmarkTable1Exhaustive(b *testing.B) {
+	lib := designs.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range lib {
+			if len(d.Graph().PartitionableNodes()) > 13 {
+				continue
+			}
+			if _, err := core.Exhaustive(d.Graph(), core.DefaultConstraints, core.ExhaustiveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// table2Sizes are representative Table 2 rows (E2).
+var table2Sizes = []int{3, 5, 8, 11, 14, 20, 25, 35, 45}
+
+// BenchmarkTable2PareDown measures the heuristic per design size over
+// the Table 2 random workload (E2, PareDown columns).
+func BenchmarkTable2PareDown(b *testing.B) {
+	for _, n := range table2Sizes {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := make([]*Design, 8)
+			for i := range ds {
+				ds[i] = randgen.MustGenerate(randgen.Params{InnerBlocks: n, Seed: int64(1000*n + i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ds[i%len(ds)]
+				if _, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Exhaustive measures the optimal search on the sizes
+// the paper has exhaustive data for (E2, exhaustive columns).
+func BenchmarkTable2Exhaustive(b *testing.B) {
+	for _, n := range []int{3, 5, 8, 10, 13} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := make([]*Design, 4)
+			for i := range ds {
+				ds[i] = randgen.MustGenerate(randgen.Params{InnerBlocks: n, Seed: int64(2000*n + i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ds[i%len(ds)]
+				if _, err := core.Exhaustive(d.Graph(), core.DefaultConstraints, core.ExhaustiveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaling465 is the Section 5.2 headline: PareDown on a
+// 465-inner-node design (paper: 80 s in Java on a 2 GHz Athlon XP).
+func BenchmarkScaling465(b *testing.B) {
+	d := randgen.MustGenerate(randgen.Params{InnerBlocks: 465, Seed: 2005})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5PodiumTimer3 runs the full Figure 5 decomposition
+// (E4).
+func BenchmarkFigure5PodiumTimer3(b *testing.B) {
+	d := designs.PodiumTimer3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cost() != 3 {
+			b.Fatalf("cost = %d, want 3", res.Cost())
+		}
+	}
+}
+
+// BenchmarkAblationTieBreaks compares PareDown with and without the
+// paper's tie-break criteria (A1).
+func BenchmarkAblationTieBreaks(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts core.PareDownOptions
+	}{
+		{"full", core.PareDownOptions{}},
+		{"no-ties", core.PareDownOptions{DisableTieBreaks: true}},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			ds := make([]*Design, 8)
+			for i := range ds {
+				ds[i] = randgen.MustGenerate(randgen.Params{InnerBlocks: 20, Seed: int64(3000 + i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ds[i%len(ds)]
+				if _, err := core.PareDown(d.Graph(), core.DefaultConstraints, variant.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggregation measures the greedy baseline on the same
+// workload as BenchmarkAblationTieBreaks/full (A2).
+func BenchmarkAblationAggregation(b *testing.B) {
+	ds := make([]*Design, 8)
+	for i := range ds {
+		ds[i] = randgen.MustGenerate(randgen.Params{InnerBlocks: 20, Seed: int64(3000 + i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds[i%len(ds)]
+		if _, err := core.Aggregation(d.Graph(), core.DefaultConstraints); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeteroPareDown measures the Section 6 future-work extension:
+// multiple programmable block types with costs (A3).
+func BenchmarkHeteroPareDown(b *testing.B) {
+	p := core.HeteroProblem{
+		Choices: []core.BlockChoice{
+			{Name: "Prog2x2", MaxInputs: 2, MaxOutputs: 2, Cost: 1.5},
+			{Name: "Prog4x4", MaxInputs: 4, MaxOutputs: 4, Cost: 2.5},
+		},
+		PredefCost: 1,
+	}
+	ds := make([]*Design, 8)
+	for i := range ds {
+		ds[i] = randgen.MustGenerate(randgen.Params{InnerBlocks: 20, Seed: int64(4000 + i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds[i%len(ds)]
+		if _, err := core.PareDownHetero(d.Graph(), p, core.PareDownOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorGarage measures the event-driven simulator on the
+// Figure 1 system under a long stimulus schedule.
+func BenchmarkSimulatorGarage(b *testing.B) {
+	d := designs.IgnitionIlluminator()
+	stimuli := synth.RandomStimuli(d, 200, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(d, sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Stimulate(stimuli...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunToQuiescence(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorModes compares the tree-walking interpreter with
+// the bytecode VM on a 60-inner-block network under a heavy stimulus
+// schedule (the S14 substrate's reason to exist).
+func BenchmarkSimulatorModes(b *testing.B) {
+	d := randgen.MustGenerate(randgen.Params{InnerBlocks: 60, Seed: 17})
+	stimuli := synth.RandomStimuli(d, 300, 50, 2)
+	for _, mode := range []struct {
+		name     string
+		compiled bool
+	}{
+		{"interpreter", false},
+		{"compiled", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(d, sim.Config{Compiled: mode.compiled})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Stimulate(stimuli...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.RunToQuiescence(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodegenMerge measures syntax-tree merging for the Figure 5
+// partitions.
+func BenchmarkCodegenMerge(b *testing.B) {
+	d := designs.PodiumTimer3()
+	res, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range res.Partitions {
+			if _, err := codegen.MergePartition(d, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSynthesisPipeline measures the complete flow (partition +
+// merge + codegen + netlist) on a 30-inner-block random design.
+func BenchmarkSynthesisPipeline(b *testing.B) {
+	d := randgen.MustGenerate(randgen.Params{InnerBlocks: 30, Seed: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize(d, synth.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessTable2Row measures one full Table 2 row end to end
+// through the public harness.
+func BenchmarkHarnessTable2Row(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(bench.Table2Options{
+			Sizes: []int{8}, Scale: 0.01, ExhaustiveLimit: 0, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command eblockbench regenerates the paper's evaluation artifacts:
+// Table 1 (design library), Table 2 (random designs), the Section 5.2
+// scaling experiment, and this reproduction's ablations (A1: PareDown
+// tie-breaks; A2: aggregation baseline; A3: heterogeneous programmable
+// blocks).
+//
+// Usage:
+//
+//	eblockbench -table 1
+//	eblockbench -table 2 -scale 0.05
+//	eblockbench -scaling
+//	eblockbench -ablation
+//	eblockbench -hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate paper table 1 or 2")
+		scale      = flag.Float64("scale", 0.05, "table 2: fraction of the paper's ~9.7k design population")
+		exhLimit   = flag.Int("exhlimit", 13, "largest inner-block count for exhaustive search")
+		exhTimeout = flag.Duration("exhtimeout", time.Minute, "per-run exhaustive search timeout")
+		scaling    = flag.Bool("scaling", false, "run the Section 5.2 scaling experiment (to 465 inner nodes)")
+		ablation   = flag.Bool("ablation", false, "run ablations A1 (tie-breaks) and A2 (aggregation)")
+		hetero     = flag.Bool("hetero", false, "run A3 (heterogeneous programmable blocks)")
+		sweep      = flag.Bool("sweep", false, "sweep programmable block port budgets (A4)")
+		seed       = flag.Int64("seed", 1, "seed for generated workloads")
+	)
+	flag.Parse()
+
+	ran := false
+	switch *table {
+	case 0:
+	case 1:
+		ran = true
+		rows, err := bench.RunTable1(bench.Table1Options{
+			ExhaustiveLimit:   *exhLimit,
+			ExhaustiveTimeout: *exhTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatTable1(rows))
+	case 2:
+		ran = true
+		rows, err := bench.RunTable2(bench.Table2Options{
+			Scale:             *scale,
+			ExhaustiveLimit:   *exhLimit,
+			ExhaustiveTimeout: *exhTimeout,
+			Seed:              *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatTable2(rows))
+	default:
+		fatal(fmt.Errorf("unknown table %d (want 1 or 2)", *table))
+	}
+
+	if *scaling {
+		ran = true
+		rows, err := bench.RunScaling(bench.ScalingOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatScaling(rows))
+	}
+	if *ablation {
+		ran = true
+		opts := bench.AblationOptions{Seed: *seed}
+		tb, err := bench.RunAblationTieBreaks(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatAblation(
+			"A1: PareDown tie-break criteria (full) vs node-ID order (no-ties)",
+			"full", "no-ties", tb))
+		ag, err := bench.RunAblationAggregation(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatAblation(
+			"A2: PareDown vs aggregation baseline (Section 4.2)",
+			"paredown", "aggregate", ag))
+	}
+	if *hetero {
+		ran = true
+		rows, err := bench.RunHetero(bench.AblationOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatHetero(rows))
+	}
+	if *sweep {
+		ran = true
+		rows, err := bench.RunSweep(bench.SweepOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatSweep(rows))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eblockbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command eblockgen emits random eBlock designs in the .ebk format (the
+// paper's Section 5.1 randomized system generator, used to produce the
+// Table 2 workloads).
+//
+// Usage:
+//
+//	eblockgen -inner 20 -seed 7 > random.ebk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netlist"
+	"repro/internal/randgen"
+)
+
+func main() {
+	var (
+		inner      = flag.Int("inner", 10, "number of inner (compute) blocks")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		sensorProb = flag.Float64("sensorprob", 0.35, "probability an input connects to a sensor")
+		threeProb  = flag.Float64("threeprob", 0.12, "probability of a 3-input block")
+		seqProb    = flag.Float64("seqprob", 0.3, "probability of a sequential block")
+		stats      = flag.Bool("stats", false, "print design statistics to stderr")
+	)
+	flag.Parse()
+
+	d, err := randgen.Generate(randgen.Params{
+		InnerBlocks:    *inner,
+		Seed:           *seed,
+		SensorProb:     *sensorProb,
+		ThreeInputProb: *threeProb,
+		SequentialProb: *seqProb,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eblockgen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		st := d.Stats()
+		fmt.Fprintf(os.Stderr, "eblockgen: %d sensors, %d inner, %d outputs, %d wires, depth %d\n",
+			st.Sensors, st.Inner, st.Outputs, st.Edges, st.Depth)
+	}
+	fmt.Print(netlist.Serialize(d))
+}

@@ -1,0 +1,96 @@
+// Command eblocksim simulates an eBlock design (.ebk file): it applies
+// a stimulus script and prints the trace of primary-output changes,
+// replacing the interactive simulator of the paper's Figure 3.
+//
+// Usage:
+//
+//	eblocksim -design garage.ebk -script stimuli.txt [-until 10000] [-all]
+//	eblocksim -library "Podium Timer 3" -script stimuli.txt -vcd out.vcd
+//
+// The stimulus script has one event per line:
+//
+//	# time_ms block value
+//	at 100 set door 1
+//	at 900 set light 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/designs"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "path to a .ebk design file")
+		library    = flag.String("library", "", "name of a built-in Table 1 design (see -list)")
+		list       = flag.Bool("list", false, "list built-in designs and exit")
+		scriptPath = flag.String("script", "", "stimulus script (default: no stimuli)")
+		until      = flag.Int64("until", 0, "run until this time in ms (default: quiescence)")
+		traceAll   = flag.Bool("all", false, "trace every block, not just primary outputs")
+		wireDelay  = flag.Int64("wiredelay", 1, "packet propagation delay per wire in ms")
+		delta      = flag.Bool("delta", false, "use glitch-free delta-cycle semantics (zero wire delay)")
+		compiled   = flag.Bool("compiled", false, "evaluate behaviors on the bytecode VM")
+		vcdPath    = flag.String("vcd", "", "write the trace as a VCD waveform to this file")
+		stats      = flag.Bool("stats", false, "print structural statistics before simulating")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range designs.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	d, err := cli.LoadDesign(*designPath, *library)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		if err := cli.DescribeDesign(os.Stdout, d); err != nil {
+			fatal(err)
+		}
+	}
+	opts := cli.SimulateOptions{
+		Until: *until,
+		Config: sim.Config{
+			TraceAll:    *traceAll,
+			WireDelay:   *wireDelay,
+			DeltaCycles: *delta,
+			Compiled:    *compiled,
+		},
+	}
+	if *scriptPath != "" {
+		raw, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Script = string(raw)
+	}
+	var vcdFile *os.File
+	if *vcdPath != "" {
+		vcdFile, err = os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.VCD = vcdFile
+	}
+	if err := cli.Simulate(os.Stdout, d, opts); err != nil {
+		fatal(err)
+	}
+	if vcdFile != nil {
+		if err := vcdFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eblocksim: wrote waveform to %s\n", *vcdPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eblocksim:", err)
+	os.Exit(1)
+}

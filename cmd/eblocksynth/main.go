@@ -1,0 +1,78 @@
+// Command eblocksynth synthesizes an eBlock design: it partitions the
+// pre-defined compute blocks onto a minimum number of programmable
+// blocks, merges each partition's behavior into one program, and writes
+// the optimized network plus C firmware (the Partitioning + Code
+// Generation boxes of the paper's Figure 2).
+//
+// Usage:
+//
+//	eblocksynth -design garage.ebk -o synth.ebk -c firmware.c
+//	eblocksynth -library "Podium Timer 3" -algorithm exhaustive -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "path to a .ebk design file")
+		library    = flag.String("library", "", "name of a built-in Table 1 design")
+		algorithm  = flag.String("algorithm", "paredown", "partitioner: paredown | exhaustive | aggregation")
+		maxIn      = flag.Int("inputs", 2, "programmable block input budget")
+		maxOut     = flag.Int("outputs", 2, "programmable block output budget")
+		outPath    = flag.String("o", "", "write the synthesized design (.ebk) here (default stdout)")
+		cPath      = flag.String("c", "", "write generated C firmware here")
+		verify     = flag.Bool("verify", false, "simulate both designs on random stimuli and compare outputs")
+		paperMode  = flag.Bool("papermode", false, "use the paper's exact fit check (no convexity guard); may be unrealizable")
+		dot        = flag.Bool("dot", false, "print the partitioned design in Graphviz dot")
+		parts      = flag.Bool("partitions", false, "print the partition membership summary")
+	)
+	flag.Parse()
+
+	d, err := cli.LoadDesign(*designPath, *library)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cli.SynthesizeReport(os.Stderr, d, cli.SynthesizeOptions{
+		Synth: synth.Options{
+			Constraints: core.Constraints{MaxInputs: *maxIn, MaxOutputs: *maxOut},
+			Algorithm:   synth.Algorithm(*algorithm),
+			PaperMode:   *paperMode,
+		},
+		Verify: *verify,
+		DOT:    *dot,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *parts {
+		fmt.Fprint(os.Stderr, cli.PartitionSummary(d, res.Output.Result))
+	}
+	if *dot {
+		fmt.Println(res.DOT)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(res.NetlistEBK), 0o644); err != nil {
+			fatal(err)
+		}
+	} else if !*dot {
+		fmt.Print(res.NetlistEBK)
+	}
+	if *cPath != "" {
+		if err := os.WriteFile(*cPath, []byte(res.CSource), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eblocksynth:", err)
+	os.Exit(1)
+}

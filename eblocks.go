@@ -1,0 +1,205 @@
+// Package eblocks is the public API of this reproduction of
+// R. Mannion, H. Hsieh, S. Cotterell, F. Vahid, "System Synthesis for
+// Networks of Programmable Blocks" (DATE 2005).
+//
+// The package re-exports the full tool chain: design capture
+// (netlist builder + .ebk text format), behavioral simulation,
+// partitioning (the PareDown decomposition heuristic, optimal
+// exhaustive search, and an aggregation baseline), code generation
+// (syntax-tree merging and C emission), and the experiment harness
+// that regenerates the paper's Tables 1 and 2.
+//
+// Quick start:
+//
+//	d := eblocks.NewDesign("garage", eblocks.StandardBlocks())
+//	d.MustAddBlock("door", "ContactSwitch")
+//	d.MustAddBlock("light", "LightSensor")
+//	d.MustAddBlock("dark", "Not")
+//	d.MustAddBlock("both", "And2")
+//	d.MustAddBlock("led", "LED")
+//	d.MustConnect("door", "y", "both", "a")
+//	d.MustConnect("light", "y", "dark", "a")
+//	d.MustConnect("dark", "y", "both", "b")
+//	d.MustConnect("both", "y", "led", "a")
+//
+//	out, err := eblocks.Synthesize(d, eblocks.SynthOptions{})
+//	// out.Synthesized now uses one programmable block instead of two
+//	// pre-defined blocks; out.CSource holds its PIC firmware.
+package eblocks
+
+import (
+	"repro/internal/bench"
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/randgen"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// --- Design capture ---------------------------------------------------
+
+// Design is an eBlock network under construction or analysis.
+type Design = netlist.Design
+
+// BlockRegistry is a catalog of block types.
+type BlockRegistry = block.Registry
+
+// NewDesign creates an empty design over a block catalog.
+func NewDesign(name string, reg *BlockRegistry) *Design { return netlist.NewDesign(name, reg) }
+
+// StandardBlocks returns the full eBlock catalog of the paper: sensors,
+// output blocks, combinational and sequential compute blocks, and
+// communication blocks.
+func StandardBlocks() *BlockRegistry { return block.Standard() }
+
+// ParseDesign reads a design in the .ebk text format.
+func ParseDesign(src string, reg *BlockRegistry) (*Design, error) { return netlist.Parse(src, reg) }
+
+// SerializeDesign renders a design in the .ebk text format.
+func SerializeDesign(d *Design) string { return netlist.Serialize(d) }
+
+// DesignJSON renders a design as JSON for external tooling.
+func DesignJSON(d *Design) ([]byte, error) { return netlist.MarshalJSON(d) }
+
+// CloneDesign deep-copies a design.
+func CloneDesign(d *Design) *Design { return netlist.Clone(d) }
+
+// --- Simulation --------------------------------------------------------
+
+// Simulator executes a design's behavior (Section 3.1 of the paper).
+type Simulator = sim.Simulator
+
+// SimConfig tunes the simulator.
+type SimConfig = sim.Config
+
+// Stimulus forces a sensor output at a point in time (ms).
+type Stimulus = sim.Stimulus
+
+// Trace is a recorded sequence of observed output changes.
+type Trace = sim.Trace
+
+// NewSimulator builds a simulator for a validated design.
+func NewSimulator(d *Design, cfg SimConfig) (*Simulator, error) { return sim.New(d, cfg) }
+
+// --- Partitioning (the paper's core contribution) ----------------------
+
+// Constraints describe the programmable block's I/O budget.
+type Constraints = core.Constraints
+
+// PartitionResult is the outcome of a partitioning algorithm.
+type PartitionResult = core.Result
+
+// PareDownOptions tune the decomposition heuristic.
+type PareDownOptions = core.PareDownOptions
+
+// ExhaustiveOptions tune the optimal search.
+type ExhaustiveOptions = core.ExhaustiveOptions
+
+// DefaultConstraints is the paper's 2-input, 2-output programmable
+// block.
+var DefaultConstraints = core.DefaultConstraints
+
+// PareDown runs the paper's decomposition heuristic (Section 4.2,
+// Figure 4) over the design's inner blocks.
+func PareDown(d *Design, c Constraints, opts PareDownOptions) (*PartitionResult, error) {
+	return core.PareDown(d.Graph(), c, opts)
+}
+
+// ExhaustivePartition finds an optimal partitioning (Section 4.1);
+// practical to roughly 13 inner blocks.
+func ExhaustivePartition(d *Design, c Constraints, opts ExhaustiveOptions) (*PartitionResult, error) {
+	return core.Exhaustive(d.Graph(), c, opts)
+}
+
+// AggregationPartition runs the greedy clustering baseline the paper
+// compares against.
+func AggregationPartition(d *Design, c Constraints) (*PartitionResult, error) {
+	return core.Aggregation(d.Graph(), c)
+}
+
+// BlockChoice, HeteroProblem and HeteroResult expose the Section 6
+// future-work extension: partitioning against multiple programmable
+// block types with differing port budgets and costs.
+type (
+	BlockChoice   = core.BlockChoice
+	HeteroProblem = core.HeteroProblem
+	HeteroResult  = core.HeteroResult
+)
+
+// PareDownHetero runs the heterogeneous, cost-aware variant of the
+// decomposition heuristic.
+func PareDownHetero(d *Design, p HeteroProblem, opts PareDownOptions) (*HeteroResult, error) {
+	return core.PareDownHetero(d.Graph(), p, opts)
+}
+
+// --- Synthesis ----------------------------------------------------------
+
+// SynthOptions configure the synthesis pipeline.
+type SynthOptions = synth.Options
+
+// SynthOutput is a completed synthesis run: the optimized network, the
+// partitioning realized, and generated C firmware per programmable
+// block.
+type SynthOutput = synth.Output
+
+// VerifyOptions tune the simulation-based equivalence check.
+type VerifyOptions = synth.VerifyOptions
+
+// Synthesize partitions a design and replaces each partition with a
+// programmable block running merged code (Sections 3.2–3.3).
+func Synthesize(d *Design, opts SynthOptions) (*SynthOutput, error) { return synth.Synthesize(d, opts) }
+
+// Verify replays shared stimuli on both designs and reports output
+// mismatches (none means behaviorally equivalent on that schedule).
+func Verify(original, synthesized *Design, opts VerifyOptions) ([]synth.Mismatch, error) {
+	return synth.Verify(original, synthesized, opts)
+}
+
+// RandomStimuli builds a reproducible random stimulus schedule for a
+// design's sensors.
+func RandomStimuli(d *Design, steps int, spacingMillis int64, seed int64) []Stimulus {
+	return synth.RandomStimuli(d, steps, spacingMillis, seed)
+}
+
+// --- Workloads ----------------------------------------------------------
+
+// LibraryDesign builds one of the paper's 15 Table 1 designs by name
+// (nil if unknown).
+func LibraryDesign(name string) *Design {
+	e := designs.Lookup(name)
+	if e == nil {
+		return nil
+	}
+	return e.Build()
+}
+
+// LibraryNames lists the Table 1 design names in table order.
+func LibraryNames() []string { return designs.Names() }
+
+// GenerateRandomDesign builds a random eBlock network with the given
+// inner-block count and seed (the Table 2 workload generator).
+func GenerateRandomDesign(innerBlocks int, seed int64) (*Design, error) {
+	return randgen.Generate(randgen.Params{InnerBlocks: innerBlocks, Seed: seed})
+}
+
+// --- Experiments ----------------------------------------------------------
+
+// Table1Options and Table2Options configure the paper-table harnesses.
+type (
+	Table1Options = bench.Table1Options
+	Table2Options = bench.Table2Options
+)
+
+// RunTable1 regenerates the paper's Table 1 over the design library.
+func RunTable1(opts Table1Options) ([]bench.Table1Row, error) { return bench.RunTable1(opts) }
+
+// RunTable2 regenerates the paper's Table 2 over random designs.
+func RunTable2(opts Table2Options) ([]bench.Table2Row, error) { return bench.RunTable2(opts) }
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []bench.Table1Row) string { return bench.FormatTable1(rows) }
+
+// FormatTable2 renders Table 2 rows in the paper's layout.
+func FormatTable2(rows []bench.Table2Row) string { return bench.FormatTable2(rows) }

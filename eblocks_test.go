@@ -1,0 +1,134 @@
+package eblocks
+
+import (
+	"strings"
+	"testing"
+)
+
+// garageDesign builds the Figure 1 system through the public API.
+func garageDesign() *Design {
+	d := NewDesign("garage", StandardBlocks())
+	d.MustAddBlock("door", "ContactSwitch")
+	d.MustAddBlock("light", "LightSensor")
+	d.MustAddBlock("dark", "Not")
+	d.MustAddBlock("both", "And2")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("door", "y", "both", "a")
+	d.MustConnect("light", "y", "dark", "a")
+	d.MustConnect("dark", "y", "both", "b")
+	d.MustConnect("both", "y", "led", "a")
+	return d
+}
+
+func TestFacadeCaptureSimulateSynthesize(t *testing.T) {
+	d := garageDesign()
+	s, err := NewSimulator(d, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 10, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.OutputValue("led")
+	if err != nil || v != 1 {
+		t.Fatalf("led = %d (%v)", v, err)
+	}
+
+	out, err := Synthesize(d, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InnerBlocksAfter() != 1 {
+		t.Fatalf("inner after = %d", out.InnerBlocksAfter())
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Steps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches: %v", mismatches)
+	}
+}
+
+func TestFacadePartitioners(t *testing.T) {
+	d := garageDesign()
+	pd, err := PareDown(d, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExhaustivePartition(d, DefaultConstraints, ExhaustiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := AggregationPartition(d, DefaultConstraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Cost() != 1 || ex.Cost() != 1 || ag.Cost() != 1 {
+		t.Fatalf("costs = %d/%d/%d", pd.Cost(), ex.Cost(), ag.Cost())
+	}
+}
+
+func TestFacadeTextFormats(t *testing.T) {
+	d := garageDesign()
+	text := SerializeDesign(d)
+	d2, err := ParseDesign(text, StandardBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SerializeDesign(d2) != text {
+		t.Fatal("round trip failed")
+	}
+	js, err := DesignJSON(d)
+	if err != nil || !strings.Contains(string(js), "\"garage\"") {
+		t.Fatalf("json: %v", err)
+	}
+	c := CloneDesign(d)
+	c.MustAddBlock("x", "Button")
+	if len(d.Sensors()) == len(c.Sensors()) {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(LibraryNames()) != 15 {
+		t.Fatal("library should list 15 designs")
+	}
+	d := LibraryDesign("Podium Timer 3")
+	if d == nil || len(d.InnerBlocks()) != 8 {
+		t.Fatal("podium timer lookup failed")
+	}
+	if LibraryDesign("nope") != nil {
+		t.Fatal("unknown design lookup succeeded")
+	}
+	r, err := GenerateRandomDesign(12, 3)
+	if err != nil || len(r.InnerBlocks()) != 12 {
+		t.Fatalf("random design: %v", err)
+	}
+	if _, err := GenerateRandomDesign(0, 1); err == nil {
+		t.Fatal("invalid size accepted")
+	}
+}
+
+func TestFacadeHarness(t *testing.T) {
+	rows, err := RunTable2(Table2Options{Sizes: []int{4}, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Inner != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if FormatTable2(rows) == "" {
+		t.Fatal("empty table")
+	}
+	t1, err := RunTable1(Table1Options{ExhaustiveLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 15 || FormatTable1(t1) == "" {
+		t.Fatal("table 1 harness failed")
+	}
+}

@@ -1,0 +1,78 @@
+// Heterogeneous programmable blocks — the paper's Section 6 future
+// work. A campus security installation has clusters too input-rich for
+// the 2x2 programmable block; offering a second, larger (and more
+// expensive) block type lets the partitioner trade cost against
+// coverage per cluster. This example compares the homogeneous and
+// heterogeneous syntheses of the same design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eblocks "repro"
+)
+
+func main() {
+	// Four zones, each: motion AND armed -> pulse -> buzzer (fits 2x2),
+	// plus a lobby cluster where THREE sensors converge through a
+	// 3-input OR (needs a bigger block).
+	d := eblocks.NewDesign("campus", eblocks.StandardBlocks())
+	for i := 1; i <= 4; i++ {
+		m := fmt.Sprintf("motion%d", i)
+		a := fmt.Sprintf("arm%d", i)
+		g := fmt.Sprintf("hit%d", i)
+		p := fmt.Sprintf("pulse%d", i)
+		b := fmt.Sprintf("buzz%d", i)
+		d.MustAddBlock(m, "MotionSensor")
+		d.MustAddBlock(a, "Button")
+		d.MustAddBlock(g, "And2")
+		d.MustAddBlock(p, "PulseGen")
+		d.MustAddBlock(b, "Buzzer")
+		d.MustConnect(m, "y", g, "a")
+		d.MustConnect(a, "y", g, "b")
+		d.MustConnect(g, "y", p, "a")
+		d.MustConnect(p, "y", b, "a")
+	}
+	d.MustAddBlock("lobbyA", "SoundSensor")
+	d.MustAddBlock("lobbyB", "SoundSensor")
+	d.MustAddBlock("lobbyC", "MotionSensor")
+	d.MustAddBlock("lobbyAny", "Or3")
+	d.MustAddBlock("lobbyPulse", "PulseGen")
+	d.MustAddBlock("lobbyBuzz", "Buzzer")
+	d.MustConnect("lobbyA", "y", "lobbyAny", "a")
+	d.MustConnect("lobbyB", "y", "lobbyAny", "b")
+	d.MustConnect("lobbyC", "y", "lobbyAny", "c")
+	d.MustConnect("lobbyAny", "y", "lobbyPulse", "a")
+	d.MustConnect("lobbyPulse", "y", "lobbyBuzz", "a")
+
+	inner := len(d.InnerBlocks())
+	fmt.Printf("campus design: %d inner blocks\n\n", inner)
+
+	small := eblocks.BlockChoice{Name: "Prog2x2", MaxInputs: 2, MaxOutputs: 2, Cost: 1.5}
+	big := eblocks.BlockChoice{Name: "Prog4x4", MaxInputs: 4, MaxOutputs: 4, Cost: 2.5}
+
+	run := func(label string, choices ...eblocks.BlockChoice) {
+		res, err := eblocks.PareDownHetero(d, eblocks.HeteroProblem{
+			Choices:    choices,
+			PredefCost: 1,
+		}, eblocks.PareDownOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", label)
+		for _, a := range res.Assignments {
+			var names []string
+			for _, id := range a.Partition.Sorted() {
+				names = append(names, d.Graph().Name(id))
+			}
+			fmt.Printf("  %-8s <- %v\n", a.Choice.Name, names)
+		}
+		fmt.Printf("  uncovered pre-defined blocks: %d\n", len(res.Uncovered))
+		fmt.Printf("  total network cost: %.1f (vs %.1f with no programmable blocks)\n\n",
+			res.TotalCost(1), float64(inner))
+	}
+
+	run("homogeneous (2x2 only)", small)
+	run("heterogeneous (2x2 + 4x4)", small, big)
+}

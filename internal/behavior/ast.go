@@ -1,0 +1,170 @@
+package behavior
+
+// Program is a parsed behavior: the block's declared interface plus the
+// run body executed at every evaluation.
+type Program struct {
+	Inputs  []string  // input port names, in declaration order
+	Outputs []string  // output port names, in declaration order
+	States  []VarDecl // persistent variables with initial values
+	Params  []VarDecl // compile-time constants with default values
+	Run     *BlockStmt
+}
+
+// VarDecl declares a state variable or parameter with its initializer.
+type VarDecl struct {
+	Name string
+	Init int64
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement sequence.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// AssignStmt assigns Expr to the named output or state variable.
+type AssignStmt struct {
+	Name string
+	Pos  Pos
+	X    Expr
+}
+
+// IfStmt is a conditional with an optional else branch (either another
+// IfStmt for `else if`, or a BlockStmt).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // nil, *IfStmt, or *BlockStmt
+}
+
+// ExprStmt evaluates an expression for effect (e.g. schedule(250);).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+}
+
+// Ident is a reference to an input, state, param, or the builtin
+// `timer` flag.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// UnaryExpr applies Op ("!", "-", "~") to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr applies Op to X and Y.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// CallExpr invokes a builtin function.
+type CallExpr struct {
+	Fun  string
+	Pos  Pos
+	Args []Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+
+// Builtin function facts: name -> arity. rising/falling/changed take an
+// input identifier; schedule takes a delay expression; scheduletag and
+// timertag are the tagged forms produced by the code generator when
+// merging several timer-using blocks into one programmable block.
+var builtins = map[string]int{
+	"rising":      1,
+	"falling":     1,
+	"changed":     1,
+	"schedule":    1,
+	"scheduletag": 2,
+	"timertag":    1,
+	"now":         0,
+	"prev":        1,
+}
+
+// TimerIdent is the builtin identifier that is true when the current
+// evaluation was caused by a timer scheduled with schedule().
+const TimerIdent = "timer"
+
+// Clone returns a deep copy of the program. The code generator mutates
+// clones while the original library definitions stay immutable.
+func (p *Program) Clone() *Program {
+	c := &Program{
+		Inputs:  append([]string(nil), p.Inputs...),
+		Outputs: append([]string(nil), p.Outputs...),
+		States:  append([]VarDecl(nil), p.States...),
+		Params:  append([]VarDecl(nil), p.Params...),
+	}
+	if p.Run != nil {
+		c.Run = CloneStmt(p.Run).(*BlockStmt)
+	}
+	return c
+}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *BlockStmt:
+		c := &BlockStmt{Stmts: make([]Stmt, len(s.Stmts))}
+		for i, t := range s.Stmts {
+			c.Stmts[i] = CloneStmt(t)
+		}
+		return c
+	case *AssignStmt:
+		return &AssignStmt{Name: s.Name, Pos: s.Pos, X: CloneExpr(s.X)}
+	case *IfStmt:
+		c := &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneStmt(s.Then).(*BlockStmt)}
+		if s.Else != nil {
+			c.Else = CloneStmt(s.Else)
+		}
+		return c
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(s.X)}
+	default:
+		panic("behavior: unknown statement type")
+	}
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		return &IntLit{Val: e.Val}
+	case *Ident:
+		return &Ident{Name: e.Name, Pos: e.Pos}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *CallExpr:
+		c := &CallExpr{Fun: e.Fun, Pos: e.Pos, Args: make([]Expr, len(e.Args))}
+		for i, a := range e.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	default:
+		panic("behavior: unknown expression type")
+	}
+}

@@ -1,0 +1,161 @@
+package behavior
+
+import "fmt"
+
+// Check validates a parsed program:
+//
+//   - declared names (inputs, outputs, states, params) are unique and do
+//     not collide with builtins or the `timer` identifier;
+//   - every identifier used resolves to a declaration (or `timer`);
+//   - assignments target only outputs or states;
+//   - builtin calls have the right arity;
+//   - rising/falling/changed/prev take an input identifier argument;
+//   - scheduletag/timertag take a non-negative integer-literal tag.
+func Check(p *Program) error {
+	if p.Run == nil {
+		return fmt.Errorf("behavior: program has no run block")
+	}
+	seen := map[string]string{}
+	declare := func(name, kind string) error {
+		if name == TimerIdent {
+			return fmt.Errorf("behavior: %s %q shadows the builtin timer flag", kind, name)
+		}
+		if _, isBuiltin := builtins[name]; isBuiltin {
+			return fmt.Errorf("behavior: %s %q shadows a builtin function", kind, name)
+		}
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("behavior: %q declared as both %s and %s", name, prev, kind)
+		}
+		seen[name] = kind
+		return nil
+	}
+	for _, n := range p.Inputs {
+		if err := declare(n, "input"); err != nil {
+			return err
+		}
+	}
+	for _, n := range p.Outputs {
+		if err := declare(n, "output"); err != nil {
+			return err
+		}
+	}
+	for _, d := range p.States {
+		if err := declare(d.Name, "state"); err != nil {
+			return err
+		}
+	}
+	for _, d := range p.Params {
+		if err := declare(d.Name, "param"); err != nil {
+			return err
+		}
+	}
+	c := &checker{kinds: seen}
+	return c.stmt(p.Run)
+}
+
+type checker struct {
+	kinds map[string]string // name -> "input"|"output"|"state"|"param"
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, t := range s.Stmts {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		kind, ok := c.kinds[s.Name]
+		if !ok {
+			return errf(s.Pos, "assignment to undeclared name %q", s.Name)
+		}
+		if kind != "output" && kind != "state" {
+			return errf(s.Pos, "cannot assign to %s %q", kind, s.Name)
+		}
+		return c.expr(s.X)
+	case *IfStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(s.X)
+	default:
+		return fmt.Errorf("behavior: unknown statement type %T", s)
+	}
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		if e.Name == TimerIdent {
+			return nil
+		}
+		kind, ok := c.kinds[e.Name]
+		if !ok {
+			return errf(e.Pos, "undeclared identifier %q", e.Name)
+		}
+		if kind == "output" {
+			// Outputs are write-only wires in the standalone model; the
+			// code generator rewrites internal output reads explicitly.
+			return errf(e.Pos, "output %q cannot be read", e.Name)
+		}
+		return nil
+	case *UnaryExpr:
+		return c.expr(e.X)
+	case *BinaryExpr:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		return c.expr(e.Y)
+	case *CallExpr:
+		arity, ok := builtins[e.Fun]
+		if !ok {
+			return errf(e.Pos, "unknown function %q", e.Fun)
+		}
+		if len(e.Args) != arity {
+			return errf(e.Pos, "%s expects %d argument(s), got %d", e.Fun, arity, len(e.Args))
+		}
+		switch e.Fun {
+		case "rising", "falling", "changed", "prev":
+			id, ok := e.Args[0].(*Ident)
+			if !ok {
+				return errf(e.Pos, "%s requires an input identifier argument", e.Fun)
+			}
+			if c.kinds[id.Name] != "input" {
+				return errf(id.Pos, "%s argument %q is not an input", e.Fun, id.Name)
+			}
+			return nil
+		case "scheduletag", "timertag":
+			if _, ok := e.Args[0].(*IntLit); !ok {
+				return errf(e.Pos, "%s tag must be an integer literal", e.Fun)
+			}
+			if tag := e.Args[0].(*IntLit).Val; tag < 0 {
+				return errf(e.Pos, "%s tag must be non-negative", e.Fun)
+			}
+			if e.Fun == "scheduletag" {
+				return c.expr(e.Args[1])
+			}
+			return nil
+		default:
+			for _, a := range e.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	default:
+		return fmt.Errorf("behavior: unknown expression type %T", e)
+	}
+}

@@ -1,0 +1,291 @@
+package behavior
+
+import "fmt"
+
+// Env is the runtime a program executes against. The simulator supplies
+// an Env per block instance; the code-generation equivalence tests
+// supply recording fakes.
+type Env interface {
+	// Input returns the current value of the named input port; ok is
+	// false if the port is undriven (treated as 0 by Eval).
+	Input(name string) (v int64, ok bool)
+	// PrevInput returns the port's value as of the previous evaluation
+	// of this block (0 before the first evaluation).
+	PrevInput(name string) (v int64, ok bool)
+	// SetOutput latches a new value on the named output port.
+	SetOutput(name string, v int64)
+	// State reads a state variable (created with its declared initial
+	// value before the first evaluation).
+	State(name string) int64
+	// SetState writes a state variable.
+	SetState(name string, v int64)
+	// Param returns the block's configured parameter value.
+	Param(name string) (v int64, ok bool)
+	// Schedule requests a re-evaluation of this block after delay
+	// milliseconds, firing the given timer tag. Standalone programs use
+	// tag 0 (the plain schedule builtin); merged programs use the tag
+	// assigned by the code generator.
+	Schedule(tag int, delay int64)
+	// TimerFired reports whether the current evaluation was triggered
+	// by the given timer tag.
+	TimerFired(tag int) bool
+	// Now returns the current simulation time in milliseconds.
+	Now() int64
+}
+
+// Eval executes the program's run block once against env.
+func Eval(p *Program, env Env) error {
+	ev := &evaluator{prog: p, env: env}
+	return ev.stmt(p.Run)
+}
+
+type evaluator struct {
+	prog *Program
+	env  Env
+}
+
+func (ev *evaluator) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, t := range s.Stmts {
+			if err := ev.stmt(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		v, err := ev.expr(s.X)
+		if err != nil {
+			return err
+		}
+		if contains(ev.prog.Outputs, s.Name) {
+			ev.env.SetOutput(s.Name, v)
+		} else {
+			ev.env.SetState(s.Name, v)
+		}
+		return nil
+	case *IfStmt:
+		c, err := ev.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return ev.stmt(s.Then)
+		}
+		if s.Else != nil {
+			return ev.stmt(s.Else)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := ev.expr(s.X)
+		return err
+	default:
+		return fmt.Errorf("behavior: eval: unknown statement %T", s)
+	}
+}
+
+func (ev *evaluator) expr(e Expr) (int64, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, nil
+	case *Ident:
+		return ev.ident(e)
+	case *UnaryExpr:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			return b2i(x == 0), nil
+		case "-":
+			return -x, nil
+		case "~":
+			return ^x, nil
+		default:
+			return 0, fmt.Errorf("behavior: eval: unknown unary op %q", e.Op)
+		}
+	case *BinaryExpr:
+		return ev.binary(e)
+	case *CallExpr:
+		return ev.call(e)
+	default:
+		return 0, fmt.Errorf("behavior: eval: unknown expression %T", e)
+	}
+}
+
+func (ev *evaluator) ident(e *Ident) (int64, error) {
+	if e.Name == TimerIdent {
+		return b2i(ev.env.TimerFired(0)), nil
+	}
+	if contains(ev.prog.Inputs, e.Name) {
+		v, _ := ev.env.Input(e.Name)
+		return v, nil
+	}
+	if v, ok := ev.env.Param(e.Name); ok && containsDecl(ev.prog.Params, e.Name) {
+		return v, nil
+	}
+	if containsDecl(ev.prog.Params, e.Name) {
+		// Unconfigured parameter: fall back to its declared default.
+		for _, d := range ev.prog.Params {
+			if d.Name == e.Name {
+				return d.Init, nil
+			}
+		}
+	}
+	if containsDecl(ev.prog.States, e.Name) {
+		return ev.env.State(e.Name), nil
+	}
+	return 0, errf(e.Pos, "eval: unresolved identifier %q", e.Name)
+}
+
+func (ev *evaluator) binary(e *BinaryExpr) (int64, error) {
+	// Short-circuit forms first.
+	switch e.Op {
+	case "&&":
+		x, err := ev.expr(e.X)
+		if err != nil || x == 0 {
+			return 0, err
+		}
+		y, err := ev.expr(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(y != 0), nil
+	case "||":
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		if x != 0 {
+			return 1, nil
+		}
+		y, err := ev.expr(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(y != 0), nil
+	}
+	x, err := ev.expr(e.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := ev.expr(e.Y)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case "+":
+		return x + y, nil
+	case "-":
+		return x - y, nil
+	case "*":
+		return x * y, nil
+	case "/":
+		if y == 0 {
+			return 0, fmt.Errorf("behavior: eval: division by zero")
+		}
+		return x / y, nil
+	case "%":
+		if y == 0 {
+			return 0, fmt.Errorf("behavior: eval: modulo by zero")
+		}
+		return x % y, nil
+	case "&":
+		return x & y, nil
+	case "|":
+		return x | y, nil
+	case "^":
+		return x ^ y, nil
+	case "<<":
+		if y < 0 || y > 63 {
+			return 0, nil
+		}
+		return x << uint(y), nil
+	case ">>":
+		if y < 0 || y > 63 {
+			return 0, nil
+		}
+		return x >> uint(y), nil
+	case "==":
+		return b2i(x == y), nil
+	case "!=":
+		return b2i(x != y), nil
+	case "<":
+		return b2i(x < y), nil
+	case "<=":
+		return b2i(x <= y), nil
+	case ">":
+		return b2i(x > y), nil
+	case ">=":
+		return b2i(x >= y), nil
+	default:
+		return 0, fmt.Errorf("behavior: eval: unknown binary op %q", e.Op)
+	}
+}
+
+func (ev *evaluator) call(e *CallExpr) (int64, error) {
+	switch e.Fun {
+	case "rising", "falling", "changed", "prev":
+		name := e.Args[0].(*Ident).Name
+		cur, _ := ev.env.Input(name)
+		prev, _ := ev.env.PrevInput(name)
+		switch e.Fun {
+		case "rising":
+			return b2i(cur != 0 && prev == 0), nil
+		case "falling":
+			return b2i(cur == 0 && prev != 0), nil
+		case "changed":
+			return b2i(cur != prev), nil
+		default: // prev
+			return prev, nil
+		}
+	case "schedule":
+		d, err := ev.expr(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		ev.env.Schedule(0, d)
+		return 0, nil
+	case "scheduletag":
+		tag := e.Args[0].(*IntLit).Val
+		d, err := ev.expr(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		ev.env.Schedule(int(tag), d)
+		return 0, nil
+	case "timertag":
+		tag := e.Args[0].(*IntLit).Val
+		return b2i(ev.env.TimerFired(int(tag))), nil
+	case "now":
+		return ev.env.Now(), nil
+	default:
+		return 0, errf(e.Pos, "eval: unknown function %q", e.Fun)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func contains(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func containsDecl(decls []VarDecl, name string) bool {
+	for _, d := range decls {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}

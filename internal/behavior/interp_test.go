@@ -1,0 +1,266 @@
+package behavior
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeEnv is a simple Env for interpreter tests.
+type fakeEnv struct {
+	in        map[string]int64
+	prev      map[string]int64
+	out       map[string]int64
+	state     map[string]int64
+	params    map[string]int64
+	scheduled []schedReq
+	fired     map[int]bool
+	now       int64
+}
+
+type schedReq struct {
+	tag   int
+	delay int64
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		in:     map[string]int64{},
+		prev:   map[string]int64{},
+		out:    map[string]int64{},
+		state:  map[string]int64{},
+		params: map[string]int64{},
+		fired:  map[int]bool{},
+	}
+}
+
+func (f *fakeEnv) Input(n string) (int64, bool)     { v, ok := f.in[n]; return v, ok }
+func (f *fakeEnv) PrevInput(n string) (int64, bool) { v, ok := f.prev[n]; return v, ok }
+func (f *fakeEnv) SetOutput(n string, v int64)      { f.out[n] = v }
+func (f *fakeEnv) State(n string) int64             { return f.state[n] }
+func (f *fakeEnv) SetState(n string, v int64)       { f.state[n] = v }
+func (f *fakeEnv) Param(n string) (int64, bool)     { v, ok := f.params[n]; return v, ok }
+func (f *fakeEnv) Schedule(tag int, d int64)        { f.scheduled = append(f.scheduled, schedReq{tag, d}) }
+func (f *fakeEnv) TimerFired(tag int) bool          { return f.fired[tag] }
+func (f *fakeEnv) Now() int64                       { return f.now }
+
+func evalExprWith(t *testing.T, src string, env *fakeEnv) int64 {
+	t.Helper()
+	p, err := Parse("input a, b, c; output y; run { y = " + src + "; }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if err := Eval(p, env); err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return env.out["y"]
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := newFakeEnv()
+	env.in["a"], env.in["b"], env.in["c"] = 6, 3, 2
+	cases := map[string]int64{
+		"a + b":       9,
+		"a - b":       3,
+		"a * b":       18,
+		"a / b":       2,
+		"a % (b + 1)": 2,
+		"a & b":       2,
+		"a | b":       7,
+		"a ^ b":       5,
+		"a << c":      24,
+		"a >> 1":      3,
+		"-a":          -6,
+		"~0":          -1,
+		"!a":          0,
+		"!0":          1,
+		"a == 6":      1,
+		"a != 6":      0,
+		"a < b":       0,
+		"a <= 6":      1,
+		"a > b":       1,
+		"a >= 7":      0,
+		"a && b":      1,
+		"a && 0":      0,
+		"0 || c":      1,
+		"0 || 0":      0,
+		"a << 99":     0, // over-shift defined as 0
+		"a >> -1":     0,
+	}
+	for src, want := range cases {
+		if got := evalExprWith(t, src, env); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestEvalDivModByZero(t *testing.T) {
+	env := newFakeEnv()
+	for _, src := range []string{"1 / a", "1 % a"} {
+		p := MustParse("input a; output y; run { y = " + src + "; }")
+		if err := Eval(p, env); err == nil {
+			t.Errorf("eval %q succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not be reached when the
+	// left is false.
+	env := newFakeEnv()
+	if got := evalExprWith(t, "a && (1 / a)", env); got != 0 {
+		t.Fatalf("short-circuit && = %d", got)
+	}
+	env.in["a"] = 1
+	if got := evalExprWith(t, "a || (1 / 0)", env); got != 1 {
+		t.Fatalf("short-circuit || = %d", got)
+	}
+}
+
+func TestEvalEdgeBuiltins(t *testing.T) {
+	env := newFakeEnv()
+	env.in["a"], env.prev["a"] = 1, 0
+	if evalExprWith(t, "rising(a)", env) != 1 {
+		t.Error("rising on 0->1 should be 1")
+	}
+	if evalExprWith(t, "falling(a)", env) != 0 {
+		t.Error("falling on 0->1 should be 0")
+	}
+	if evalExprWith(t, "changed(a)", env) != 1 {
+		t.Error("changed on 0->1 should be 1")
+	}
+	if evalExprWith(t, "prev(a)", env) != 0 {
+		t.Error("prev should be 0")
+	}
+	env.prev["a"] = 1
+	if evalExprWith(t, "rising(a)", env) != 0 {
+		t.Error("rising on 1->1 should be 0")
+	}
+	if evalExprWith(t, "changed(a)", env) != 0 {
+		t.Error("changed on 1->1 should be 0")
+	}
+}
+
+func TestEvalToggleSequence(t *testing.T) {
+	p := MustParse(toggleSrc)
+	env := newFakeEnv()
+	press := func(cur, prev int64) int64 {
+		env.in["a"], env.prev["a"] = cur, prev
+		if err := Eval(p, env); err != nil {
+			t.Fatal(err)
+		}
+		return env.out["y"]
+	}
+	if press(1, 0) != 1 { // first rising edge: toggles on
+		t.Fatal("first press should turn on")
+	}
+	if press(0, 1) != 1 { // release: stays on
+		t.Fatal("release should not change state")
+	}
+	if press(1, 0) != 0 { // second press: toggles off
+		t.Fatal("second press should turn off")
+	}
+}
+
+func TestEvalScheduleAndTimer(t *testing.T) {
+	p := MustParse(`input a; output y; run {
+        if (rising(a)) { schedule(250); }
+        if (timer) { y = 1; }
+    }`)
+	env := newFakeEnv()
+	env.in["a"], env.prev["a"] = 1, 0
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.scheduled) != 1 || env.scheduled[0] != (schedReq{0, 250}) {
+		t.Fatalf("scheduled = %v", env.scheduled)
+	}
+	if _, set := env.out["y"]; set {
+		t.Fatal("y set before timer fired")
+	}
+	env.in["a"], env.prev["a"] = 1, 1
+	env.fired[0] = true
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.out["y"] != 1 {
+		t.Fatal("y not set on timer evaluation")
+	}
+}
+
+func TestEvalTaggedTimers(t *testing.T) {
+	p := MustParse(`input a; output y; run {
+        if (rising(a)) { scheduletag(3, 100); }
+        if (timertag(3)) { y = 7; }
+    }`)
+	env := newFakeEnv()
+	env.in["a"] = 1
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.scheduled) != 1 || env.scheduled[0].tag != 3 {
+		t.Fatalf("scheduled = %v", env.scheduled)
+	}
+	env.fired[3] = true
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.out["y"] != 7 {
+		t.Fatal("tagged timer branch not taken")
+	}
+}
+
+func TestEvalParamsAndDefaults(t *testing.T) {
+	p := MustParse("output y; param W = 42; run { y = W; }")
+	env := newFakeEnv()
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.out["y"] != 42 {
+		t.Fatalf("default param = %d", env.out["y"])
+	}
+	env.params["W"] = 7
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.out["y"] != 7 {
+		t.Fatalf("configured param = %d", env.out["y"])
+	}
+}
+
+func TestEvalNow(t *testing.T) {
+	p := MustParse("output y; run { y = now(); }")
+	env := newFakeEnv()
+	env.now = 12345
+	if err := Eval(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.out["y"] != 12345 {
+		t.Fatalf("now = %d", env.out["y"])
+	}
+}
+
+// Property: for random truth-table parameters and random inputs, the
+// interpreted 2-input truth-table program agrees with direct indexing.
+func TestEvalTruthTableProperty(t *testing.T) {
+	p := MustParse("input a, b; output y; param TT = 0; run { y = (TT >> ((a != 0) * 2 + (b != 0))) & 1; }")
+	f := func(tt uint8, a, b bool) bool {
+		env := newFakeEnv()
+		env.params["TT"] = int64(tt & 0xf)
+		env.in["a"], env.in["b"] = b2i(a), b2i(b)
+		if err := Eval(p, env); err != nil {
+			return false
+		}
+		idx := uint(0)
+		if a {
+			idx += 2
+		}
+		if b {
+			idx++
+		}
+		want := int64((tt & 0xf) >> idx & 1)
+		return env.out["y"] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

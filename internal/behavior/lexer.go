@@ -1,0 +1,168 @@
+package behavior
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer converts source text into tokens. It supports //-comments,
+// /* */-comments, decimal, hexadecimal (0x) and binary (0b) integer
+// literals, and the multi-character operators of the language.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// punctuation tokens, longest first so maximal munch works with a
+// simple prefix scan.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"{", "}", "(", ")", ",", ";", "=", "<", ">",
+	"+", "-", "*", "/", "%", "!", "~", "&", "|", "^",
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.off < len(lx.src) && lx.src[lx.off] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.off++
+	}
+}
+
+// skipSpace consumes whitespace and comments; returns an error for an
+// unterminated block comment.
+func (lx *lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case strings.HasPrefix(lx.src[lx.off:], "//"):
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.advance(1)
+			}
+		case strings.HasPrefix(lx.src[lx.off:], "/*"):
+			start := lx.pos()
+			lx.advance(2)
+			for !strings.HasPrefix(lx.src[lx.off:], "*/") {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				lx.advance(1)
+			}
+			lx.advance(2)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := rune(lx.src[lx.off])
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		start := lx.off
+		for lx.off < len(lx.src) {
+			r := rune(lx.src[lx.off])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.off]
+		switch text {
+		case "true":
+			return Token{Kind: TokInt, Text: text, Val: 1, Pos: pos}, nil
+		case "false":
+			return Token{Kind: TokInt, Text: text, Val: 0, Pos: pos}, nil
+		}
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(c):
+		start := lx.off
+		base := 10
+		if strings.HasPrefix(lx.src[lx.off:], "0x") || strings.HasPrefix(lx.src[lx.off:], "0X") {
+			base = 16
+			lx.advance(2)
+		} else if strings.HasPrefix(lx.src[lx.off:], "0b") || strings.HasPrefix(lx.src[lx.off:], "0B") {
+			base = 2
+			lx.advance(2)
+		}
+		digStart := lx.off
+		for lx.off < len(lx.src) && isBaseDigit(rune(lx.src[lx.off]), base) {
+			lx.advance(1)
+		}
+		digits := lx.src[digStart:lx.off]
+		if base != 10 && digits == "" {
+			return Token{}, errf(pos, "malformed integer literal %q", lx.src[start:lx.off])
+		}
+		if base == 10 {
+			digits = lx.src[start:lx.off]
+		}
+		v, err := strconv.ParseInt(digits, base, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer literal %q: %v", lx.src[start:lx.off], err)
+		}
+		return Token{Kind: TokInt, Text: lx.src[start:lx.off], Val: v, Pos: pos}, nil
+
+	default:
+		for _, p := range puncts {
+			if strings.HasPrefix(lx.src[lx.off:], p) {
+				lx.advance(len(p))
+				return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+			}
+		}
+		return Token{}, errf(pos, "unexpected character %q", c)
+	}
+}
+
+func isBaseDigit(r rune, base int) bool {
+	switch base {
+	case 2:
+		return r == '0' || r == '1'
+	case 16:
+		return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+	default:
+		return unicode.IsDigit(r)
+	}
+}
+
+// Lex tokenizes src completely; exported for tests and tooling.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package behavior
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("input a; run { y = a && 0x1f; } // tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{
+		TokKeyword, TokIdent, TokPunct, // input a ;
+		TokKeyword, TokPunct, // run {
+		TokIdent, TokPunct, TokIdent, TokPunct, TokInt, TokPunct, // y = a && 0x1f ;
+		TokPunct, TokEOF, // }
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d kind = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexIntLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"42":     42,
+		"0x10":   16,
+		"0XFF":   255,
+		"0b101":  5,
+		"0B11":   3,
+		"true":   1,
+		"false":  0,
+		"007":    7,
+		"123456": 123456,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", src, err)
+			continue
+		}
+		if toks[0].Kind != TokInt || toks[0].Val != want {
+			t.Errorf("Lex(%q) = %+v, want value %d", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexBadInput(t *testing.T) {
+	for _, src := range []string{"@", "0x", "0b", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("/* a\nmultiline */ x // end\n y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("y line = %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	toks, err := Lex("a<<b <= c == d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	if len(ops) != 3 || ops[0] != "<<" || ops[1] != "<=" || ops[2] != "==" {
+		t.Fatalf("ops = %v", ops)
+	}
+}

@@ -1,0 +1,373 @@
+package behavior
+
+// Parse parses a behavior program source.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; the built-in block library
+// uses it on sources that are validated by tests.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != TokPunct || t.Text != text {
+		return t, errf(t.Pos, "expected %q, found %q", text, t.Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) atPunct(text string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == text
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Pos, "expected identifier, found %q", t.Text)
+	}
+	return p.advance(), nil
+}
+
+// parseProgram parses declarations followed by the run block:
+//
+//	program   := { decl } "run" block EOF
+//	decl      := ("input"|"output") identList ";"
+//	           | ("state"|"param") init { "," init } ";"
+//	init      := ident [ "=" [-] intlit ]
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		t := p.cur()
+		if t.Kind != TokKeyword {
+			return nil, errf(t.Pos, "expected declaration or run block, found %q", t.Text)
+		}
+		switch t.Text {
+		case "input", "output":
+			p.advance()
+			names, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "input" {
+				prog.Inputs = append(prog.Inputs, names...)
+			} else {
+				prog.Outputs = append(prog.Outputs, names...)
+			}
+		case "state", "param":
+			p.advance()
+			decls, err := p.parseVarDecls()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "state" {
+				prog.States = append(prog.States, decls...)
+			} else {
+				prog.Params = append(prog.Params, decls...)
+			}
+		case "run":
+			p.advance()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Run = body
+			if t := p.cur(); t.Kind != TokEOF {
+				return nil, errf(t.Pos, "unexpected %q after run block", t.Text)
+			}
+			return prog, nil
+		default:
+			return nil, errf(t.Pos, "unexpected keyword %q", t.Text)
+		}
+	}
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var names []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id.Text)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+}
+
+func (p *parser) parseVarDecls() ([]VarDecl, error) {
+	var decls []VarDecl
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := VarDecl{Name: id.Text}
+		if p.atPunct("=") {
+			p.advance()
+			neg := false
+			if p.atPunct("-") {
+				neg = true
+				p.advance()
+			}
+			t := p.cur()
+			if t.Kind != TokInt {
+				return nil, errf(t.Pos, "initializer must be an integer literal, found %q", t.Text)
+			}
+			p.advance()
+			d.Init = t.Val
+			if neg {
+				d.Init = -d.Init
+			}
+		}
+		decls = append(decls, d)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return decls, nil
+	}
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	for !p.atPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.cur().Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.advance() // consume "}"
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case t.Kind == TokIdent && p.peek().Kind == TokPunct && p.peek().Text == "=":
+		name := p.advance()
+		p.advance() // "="
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, Pos: name.Pos, X: x}, nil
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	p.advance() // "if"
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.atKeyword("else") {
+		p.advance()
+		if p.atKeyword("if") {
+			el, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = el
+		} else {
+			el, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = el
+		}
+	}
+	return st, nil
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "!" || t.Text == "-" || t.Text == "~") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.advance()
+		return &IntLit{Val: t.Val}, nil
+	case t.Kind == TokIdent:
+		p.advance()
+		if p.atPunct("(") {
+			return p.parseCall(t)
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %q", t.Text)
+	}
+}
+
+func (p *parser) parseCall(fun Token) (Expr, error) {
+	p.advance() // "("
+	call := &CallExpr{Fun: fun.Text, Pos: fun.Pos}
+	if !p.atPunct(")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package behavior
+
+import (
+	"strings"
+	"testing"
+)
+
+const toggleSrc = `
+input a;
+output y;
+state v = 0;
+run {
+    if (rising(a)) { v = !v; }
+    y = v;
+}
+`
+
+func TestParseToggle(t *testing.T) {
+	p, err := Parse(toggleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Inputs) != 1 || p.Inputs[0] != "a" {
+		t.Fatalf("inputs = %v", p.Inputs)
+	}
+	if len(p.Outputs) != 1 || p.Outputs[0] != "y" {
+		t.Fatalf("outputs = %v", p.Outputs)
+	}
+	if len(p.States) != 1 || p.States[0].Name != "v" || p.States[0].Init != 0 {
+		t.Fatalf("states = %v", p.States)
+	}
+	if len(p.Run.Stmts) != 2 {
+		t.Fatalf("run stmts = %d", len(p.Run.Stmts))
+	}
+	ifs, ok := p.Run.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("first stmt is %T", p.Run.Stmts[0])
+	}
+	call, ok := ifs.Cond.(*CallExpr)
+	if !ok || call.Fun != "rising" {
+		t.Fatalf("cond = %v", FormatExpr(ifs.Cond))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := MustParse("input a, b, c; output y; run { y = a || b && c + 1 * 2; }")
+	got := FormatExpr(p.Run.Stmts[0].(*AssignStmt).X)
+	// || binds loosest, then &&, then +, then *.
+	want := "a || (b && (c + (1 * 2)))"
+	if got != want {
+		t.Fatalf("parsed %q, want %q", got, want)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	p := MustParse(`input a, b; output y; run {
+        if (a) { y = 1; } else if (b) { y = 2; } else { y = 3; }
+    }`)
+	ifs := p.Run.Stmts[0].(*IfStmt)
+	elif, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T", ifs.Else)
+	}
+	if _, ok := elif.Else.(*BlockStmt); !ok {
+		t.Fatalf("final else is %T", elif.Else)
+	}
+}
+
+func TestParseNegativeInit(t *testing.T) {
+	p := MustParse("output y; state v = -5; run { y = v; }")
+	if p.States[0].Init != -5 {
+		t.Fatalf("init = %d", p.States[0].Init)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p := MustParse("input a; output y; param W = 250, H; run { if (rising(a)) { schedule(W); } y = H; }")
+	if len(p.Params) != 2 || p.Params[0].Init != 250 || p.Params[1].Init != 0 {
+		t.Fatalf("params = %v", p.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                               // no run block
+		"run { y = 1; }",                                 // undeclared y
+		"input a; run { a = 1; }",                        // assign to input
+		"input a; output y; run { y = z; }",              // undeclared ident
+		"input a; output y; run { y = y; }",              // read of output
+		"input a; output y; run { y = a }",               // missing semicolon
+		"input a; output y; run { if a { } }",            // missing parens
+		"input a; output y; run { y = foo(a); }",         // unknown function
+		"input a; output y; run { y = rising(1); }",      // non-ident arg
+		"input a; output y; run { y = rising(y); }",      // non-input arg
+		"input a; output y; run { y = rising(a, a); }",   // arity
+		"input a; output y; run { y = timertag(a); }",    // non-literal tag
+		"input a; output y; run { y = timertag(-1); }",   // negative tag
+		"input a, a; output y; run { y = a; }",           // duplicate decl
+		"input timer; output y; run { y = 1; }",          // shadows builtin flag
+		"input rising; output y; run { y = 1; }",         // shadows builtin fn
+		"input a; output y; run { y = 1; } input b;",     // trailing decl
+		"input a; output y; state v = x; run { y = 1; }", // non-literal init
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		toggleSrc,
+		"input a, b; output y; run { y = (a + b) * 2 - -1; }",
+		"input a; output y; state s = 3; param P = 9; run { if (changed(a)) { s = s + P; } else { s = 0; } y = s >> 1; }",
+		"input a; output y; run { if (timer) { y = 0; } if (rising(a)) { y = 1; schedule(500); } }",
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		text := Format(p1)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\n%s", err, text)
+		}
+		if Format(p2) != text {
+			t.Errorf("format not a fixed point:\n%s\nvs\n%s", text, Format(p2))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse(toggleSrc)
+	c := p.Clone()
+	if !Equal(p.Run, c.Run) {
+		t.Fatal("clone differs structurally")
+	}
+	// Mutate the clone; the original must be untouched.
+	c.Run.Stmts[0].(*IfStmt).Cond = &IntLit{Val: 1}
+	c.Inputs[0] = "zz"
+	if FormatStmt(p.Run) == FormatStmt(c.Run) {
+		t.Fatal("clone shares statement storage")
+	}
+	if p.Inputs[0] != "a" {
+		t.Fatal("clone shares input slice")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("input a; output y; run { y = ")
+	depth := 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("(")
+	}
+	b.WriteString("a")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString("; }")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("deep nesting failed: %v", err)
+	}
+}

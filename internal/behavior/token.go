@@ -1,0 +1,99 @@
+// Package behavior implements the small imperative language in which
+// every eBlock's behavior is written. The paper (Section 3.3) describes
+// block behaviors "defined in a Java-like language that is automatically
+// transformed to a syntax tree"; the code generator then merges the
+// syntax trees of all blocks in a partition into one program. This
+// package provides the language: lexer, parser, abstract syntax tree,
+// static checks, a tree-walking interpreter used by the simulator, and
+// the AST rewriting utilities (identifier substitution, variable
+// renaming, timer re-tagging) that the code generator relies on.
+//
+// A behavior program declares its interface and a run body:
+//
+//	input a, b;
+//	output y;
+//	state v = 0;
+//	param WIDTH = 1000;
+//	run {
+//	    if (rising(a)) { v = !v; }
+//	    y = v && b;
+//	}
+//
+// All values are 64-bit integers; boolean context treats nonzero as
+// true, and boolean operators yield 0 or 1. The builtins rising(x),
+// falling(x) and changed(x) compare an input against its value at the
+// block's previous evaluation; schedule(d) requests a re-evaluation
+// after d milliseconds; the identifier `timer` is 1 when the current
+// evaluation was caused by such a timer; now() is the current simulation
+// time in milliseconds.
+package behavior
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokKeyword
+	TokPunct
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokKeyword:
+		return "keyword"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("tok(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // value for TokInt
+	Pos  Pos
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// keywords of the language. `true` and `false` lex as integer literals.
+var keywords = map[string]bool{
+	"input":  true,
+	"output": true,
+	"state":  true,
+	"param":  true,
+	"run":    true,
+	"if":     true,
+	"else":   true,
+}
+
+// Error is a positioned language-processing error (lexing, parsing, or
+// static checking).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("behavior: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,277 @@
+package behavior
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// vmHost is a recording Host for VM tests.
+type vmHost struct {
+	sched []schedReq
+	fired map[int]bool
+	now   int64
+}
+
+func (h *vmHost) Schedule(tag int, d int64) { h.sched = append(h.sched, schedReq{tag, d}) }
+func (h *vmHost) TimerFired(tag int) bool   { return h.fired[tag] }
+func (h *vmHost) Now() int64                { return h.now }
+
+// evalVia runs a program both through the tree-walking interpreter and
+// the VM with identical inputs/prev/params and returns both outcomes.
+func evalVia(t *testing.T, p *Program, in, prev map[string]int64, params map[string]int64,
+	fired map[int]bool, now int64) (treeOut, vmOut map[string]int64, treeErr, vmErr error) {
+	t.Helper()
+	// Tree walker.
+	env := newFakeEnv()
+	for k, v := range in {
+		env.in[k] = v
+	}
+	for k, v := range prev {
+		env.prev[k] = v
+	}
+	for k, v := range params {
+		env.params[k] = v
+	}
+	for k, v := range fired {
+		env.fired[k] = v
+	}
+	env.now = now
+	treeErr = Eval(p, env)
+	treeOut = env.out
+
+	// VM.
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := NewMachine(c)
+	for k, v := range params {
+		m.SetParam(k, v)
+	}
+	for k, v := range in {
+		if s := m.InputSlot(k); s >= 0 {
+			m.In[s] = v
+		}
+	}
+	for k, v := range prev {
+		if s := m.InputSlot(k); s >= 0 {
+			m.Prev[s] = v
+		}
+	}
+	host := &vmHost{fired: fired, now: now}
+	if host.fired == nil {
+		host.fired = map[int]bool{}
+	}
+	vmErr = m.Step(host)
+	vmOut = map[string]int64{}
+	for i, name := range c.outputs {
+		vmOut[name] = m.Out[i]
+	}
+	return treeOut, vmOut, treeErr, vmErr
+}
+
+func TestVMMatchesEvalOnCatalogPrograms(t *testing.T) {
+	// Every behavior in the standard catalog evaluates identically
+	// under the interpreter and the VM across random input sequences.
+	// (The catalog is defined in the block package; to avoid an import
+	// cycle the sources are spot-replicated here for the interesting
+	// sequential ones, plus combinational samples.)
+	srcs := []string{
+		toggleSrc,
+		"input a, b; output y; run { y = a && b; }",
+		"input a, b; output y; run { y = !(a || b); }",
+		"input a, b; output y; param TT = 6; run { y = (TT >> ((a != 0) * 2 + (b != 0))) & 1; }",
+		`input trigger, reset; output y; state v = 0;
+         run { if (reset) { v = 0; } else if (rising(trigger)) { v = 1; } y = v; }`,
+		`input a; output y; state active = 0; param WIDTH = 1000;
+         run { if (rising(a)) { active = 1; schedule(WIDTH); } if (timer) { active = 0; } y = active; }`,
+		`input a; output y; state pending = 0; param DELAY = 1000;
+         run { if (changed(a)) { pending = a; schedule(DELAY); } if (timer) { y = pending; } }`,
+	}
+	rng := rand.New(rand.NewSource(61))
+	for _, src := range srcs {
+		p := MustParse(src)
+		// Drive a random sequence through both engines, maintaining
+		// prev ourselves.
+		prev := map[string]int64{}
+		for step := 0; step < 50; step++ {
+			in := map[string]int64{}
+			for _, name := range p.Inputs {
+				in[name] = int64(rng.Intn(2))
+			}
+			fired := map[int]bool{}
+			if rng.Intn(4) == 0 {
+				fired[0] = true
+			}
+			treeOut, vmOut, te, ve := evalVia(t, p, in, prev, nil, fired, int64(step*100))
+			if (te == nil) != (ve == nil) {
+				t.Fatalf("%q: error divergence tree=%v vm=%v", src, te, ve)
+			}
+			for _, name := range p.Outputs {
+				if treeOut[name] != vmOut[name] {
+					t.Fatalf("%q step %d: output %s tree=%d vm=%d (in=%v prev=%v)",
+						src, step, name, treeOut[name], vmOut[name], in, prev)
+				}
+			}
+			for k, v := range in {
+				prev[k] = v
+			}
+		}
+	}
+}
+
+// randomExpr builds a random well-formed expression over inputs a,b,c.
+// Division and modulo are guarded with |y|+1 denominators so both
+// engines stay error-free and comparable.
+func randomExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return "c"
+		case 3:
+			return "1"
+		default:
+			return "3"
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	switch rng.Intn(8) {
+	case 0:
+		return "!" + "(" + randomExpr(rng, depth-1) + ")"
+	case 1:
+		return "-(" + randomExpr(rng, depth-1) + ")"
+	case 2:
+		return "(" + randomExpr(rng, depth-1) + ") / ((" + randomExpr(rng, depth-1) + ") & 3 | 1)"
+	default:
+		op := ops[rng.Intn(len(ops))]
+		return "(" + randomExpr(rng, depth-1) + ") " + op + " (" + randomExpr(rng, depth-1) + ")"
+	}
+}
+
+func TestVMMatchesEvalOnRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	f := func(av, bv, cv int8) bool {
+		src := "input a, b, c; output y; run { y = " + randomExpr(rng, 4) + "; }"
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		in := map[string]int64{"a": int64(av), "b": int64(bv), "c": int64(cv)}
+		treeOut, vmOut, te, ve := evalVia(t, p, in, nil, nil, nil, 0)
+		if (te == nil) != (ve == nil) {
+			return false
+		}
+		if te != nil {
+			return true
+		}
+		return treeOut["y"] == vmOut["y"]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVMShortCircuit(t *testing.T) {
+	// Division by zero on the unreached side must not fault the VM.
+	p := MustParse("input a; output y; run { y = a && (1 / a); }")
+	c := MustCompile(p)
+	m := NewMachine(c)
+	if err := m.Step(&vmHost{fired: map[int]bool{}}); err != nil {
+		t.Fatalf("short-circuit && reached rhs: %v", err)
+	}
+	if m.Out[0] != 0 {
+		t.Fatal("a && ... with a=0 should be 0")
+	}
+	p2 := MustParse("input a; output y; run { y = !a || (1 / a); }")
+	m2 := NewMachine(MustCompile(p2))
+	if err := m2.Step(&vmHost{fired: map[int]bool{}}); err != nil {
+		t.Fatalf("short-circuit || reached rhs: %v", err)
+	}
+	if m2.Out[0] != 1 {
+		t.Fatal("!a || ... with a=0 should be 1")
+	}
+}
+
+func TestVMScheduleAndTimers(t *testing.T) {
+	p := MustParse(`input a; output y; run {
+        if (rising(a)) { scheduletag(2, 300); }
+        if (timertag(2)) { y = 9; }
+    }`)
+	m := NewMachine(MustCompile(p))
+	h := &vmHost{fired: map[int]bool{}}
+	m.In[0] = 1
+	if err := m.Step(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sched) != 1 || h.sched[0] != (schedReq{2, 300}) {
+		t.Fatalf("sched = %v", h.sched)
+	}
+	h.fired[2] = true
+	if err := m.Step(h); err != nil {
+		t.Fatal(err)
+	}
+	if m.Out[0] != 9 {
+		t.Fatalf("out = %d", m.Out[0])
+	}
+}
+
+func TestVMResetAndParams(t *testing.T) {
+	p := MustParse("output y; state v = 5; param P = 7; run { v = v + P; y = v; }")
+	m := NewMachine(MustCompile(p))
+	h := &vmHost{fired: map[int]bool{}}
+	if err := m.Step(h); err != nil {
+		t.Fatal(err)
+	}
+	if m.Out[0] != 12 {
+		t.Fatalf("first step = %d", m.Out[0])
+	}
+	if !m.SetParam("P", 1) {
+		t.Fatal("SetParam failed")
+	}
+	if m.SetParam("NOPE", 1) {
+		t.Fatal("unknown param accepted")
+	}
+	if err := m.Step(h); err != nil {
+		t.Fatal(err)
+	}
+	if m.Out[0] != 13 {
+		t.Fatalf("second step = %d", m.Out[0])
+	}
+	m.Reset()
+	if v, ok := m.State("v"); !ok || v != 5 {
+		t.Fatalf("state after reset = %d, %v", v, ok)
+	}
+}
+
+func TestVMErrors(t *testing.T) {
+	p := MustParse("input a; output y; run { y = 1 / a; }")
+	m := NewMachine(MustCompile(p))
+	if err := m.Step(&vmHost{fired: map[int]bool{}}); err == nil {
+		t.Fatal("division by zero not reported")
+	}
+	if _, err := Compile(&Program{}); err == nil {
+		t.Fatal("program without run block compiled")
+	}
+}
+
+func TestVMSlotLookups(t *testing.T) {
+	p := MustParse("input a, b; output y, z; run { y = a; z = b; }")
+	m := NewMachine(MustCompile(p))
+	if m.InputSlot("b") != 1 || m.InputSlot("zz") != -1 {
+		t.Fatal("input slots wrong")
+	}
+	if m.OutputSlot("z") != 1 || m.OutputSlot("zz") != -1 {
+		t.Fatal("output slots wrong")
+	}
+	if _, ok := m.State("nope"); ok {
+		t.Fatal("unknown state reported")
+	}
+	if MustCompile(p).NumInstr() == 0 {
+		t.Fatal("no instructions")
+	}
+}

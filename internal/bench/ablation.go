@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/randgen"
+)
+
+// AblationOptions configure the ablation sweeps (experiments A1–A3 of
+// DESIGN.md). All sweeps run over the same reproducible random design
+// population.
+type AblationOptions struct {
+	// Sizes of generated designs; default {6, 10, 15, 20, 30}.
+	Sizes []int
+	// DesignsPerSize; default 100.
+	DesignsPerSize int
+	// Constraints; zero means 2x2.
+	Constraints core.Constraints
+	// Seed offsets generation.
+	Seed int64
+}
+
+func (o AblationOptions) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return []int{6, 10, 15, 20, 30}
+	}
+	return o.Sizes
+}
+
+func (o AblationOptions) perSize() int {
+	if o.DesignsPerSize <= 0 {
+		return 100
+	}
+	return o.DesignsPerSize
+}
+
+func (o AblationOptions) constraints() core.Constraints {
+	if o.Constraints.MaxInputs == 0 && o.Constraints.MaxOutputs == 0 {
+		return core.DefaultConstraints
+	}
+	return o.Constraints
+}
+
+// AblationRow compares two algorithm variants at one size. Costs are
+// summed over the size's population; times are total wall clock.
+type AblationRow struct {
+	Inner        int
+	Designs      int
+	CostA, CostB int
+	TimeA, TimeB time.Duration
+}
+
+// variant computes one algorithm's cost on a design.
+type variant func(d *netlist.Design) (int, error)
+
+// runAblation drives two variants over the generated population.
+func runAblation(opts AblationOptions, runA, runB variant) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, size := range opts.sizes() {
+		row := AblationRow{Inner: size, Designs: opts.perSize()}
+		for i := 0; i < opts.perSize(); i++ {
+			d := randgen.MustGenerate(randgen.Params{
+				InnerBlocks: size,
+				Seed:        opts.Seed + int64(size)*7919 + int64(i),
+			})
+			start := time.Now()
+			costA, err := runA(d)
+			if err != nil {
+				return nil, err
+			}
+			row.TimeA += time.Since(start)
+			start = time.Now()
+			costB, err := runB(d)
+			if err != nil {
+				return nil, err
+			}
+			row.TimeB += time.Since(start)
+			row.CostA += costA
+			row.CostB += costB
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunAblationTieBreaks compares full PareDown (A) against PareDown with
+// the paper's three tie-break criteria replaced by node-ID order (B).
+// Experiment A1: quantifies how much the tie-breaks matter.
+func RunAblationTieBreaks(opts AblationOptions) ([]AblationRow, error) {
+	c := opts.constraints()
+	return runAblation(opts,
+		func(d *netlist.Design) (int, error) {
+			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Cost(), nil
+		},
+		func(d *netlist.Design) (int, error) {
+			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{DisableTieBreaks: true})
+			if err != nil {
+				return 0, err
+			}
+			return res.Cost(), nil
+		})
+}
+
+// RunAblationAggregation compares PareDown (A) against the aggregation
+// baseline (B). Experiment A2: the paper's motivating comparison, for
+// which it published no table.
+func RunAblationAggregation(opts AblationOptions) ([]AblationRow, error) {
+	c := opts.constraints()
+	return runAblation(opts,
+		func(d *netlist.Design) (int, error) {
+			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Cost(), nil
+		},
+		func(d *netlist.Design) (int, error) {
+			res, err := core.Aggregation(d.Graph(), c)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cost(), nil
+		})
+}
+
+// HeteroRow is one size of the heterogeneous-block extension sweep
+// (experiment A3, the paper's Section 6 future work).
+type HeteroRow struct {
+	Inner   int
+	Designs int
+	// HomoCost: total cost using only the 2x2 block (PareDown,
+	// programmable block priced 1.5 pre-defined blocks).
+	HomoCost float64
+	// HeteroCost: total cost when a 4x4 block priced at 2.5 is also
+	// available.
+	HeteroCost float64
+	// Blocks2x2 and Blocks4x4 count chosen blocks in the hetero run.
+	Blocks2x2, Blocks4x4 int
+}
+
+// RunHetero sweeps the heterogeneous partitioner against the
+// homogeneous special case.
+func RunHetero(opts AblationOptions) ([]HeteroRow, error) {
+	homo := core.HeteroProblem{
+		Choices:    []core.BlockChoice{{Name: "Prog2x2", MaxInputs: 2, MaxOutputs: 2, Cost: 1.5}},
+		PredefCost: 1,
+	}
+	hetero := core.HeteroProblem{
+		Choices: []core.BlockChoice{
+			{Name: "Prog2x2", MaxInputs: 2, MaxOutputs: 2, Cost: 1.5},
+			{Name: "Prog4x4", MaxInputs: 4, MaxOutputs: 4, Cost: 2.5},
+		},
+		PredefCost: 1,
+	}
+	var rows []HeteroRow
+	for _, size := range opts.sizes() {
+		row := HeteroRow{Inner: size, Designs: opts.perSize()}
+		for i := 0; i < opts.perSize(); i++ {
+			d := randgen.MustGenerate(randgen.Params{
+				InnerBlocks: size,
+				Seed:        opts.Seed + int64(size)*104729 + int64(i),
+			})
+			h, err := core.PareDownHetero(d.Graph(), homo, core.PareDownOptions{})
+			if err != nil {
+				return nil, err
+			}
+			row.HomoCost += h.TotalCost(1)
+			x, err := core.PareDownHetero(d.Graph(), hetero, core.PareDownOptions{})
+			if err != nil {
+				return nil, err
+			}
+			row.HeteroCost += x.TotalCost(1)
+			for _, a := range x.Assignments {
+				if a.Choice.Name == "Prog4x4" {
+					row.Blocks4x4++
+				} else {
+					row.Blocks2x2++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders a two-variant comparison table.
+func FormatAblation(title, labelA, labelB string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	fmt.Fprintf(&b, "%6s %8s | %14s %14s | %12s %12s | %8s\n",
+		"Inner", "Designs", labelA+" cost", labelB+" cost", labelA+" time", labelB+" time", "Δcost%")
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, r := range rows {
+		delta := 0.0
+		if r.CostA > 0 {
+			delta = 100 * float64(r.CostB-r.CostA) / float64(r.CostA)
+		}
+		fmt.Fprintf(&b, "%6d %8d | %14d %14d | %12s %12s | %+7.1f%%\n",
+			r.Inner, r.Designs, r.CostA, r.CostB,
+			fmtDuration(r.TimeA), fmtDuration(r.TimeB), delta)
+	}
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	return b.String()
+}
+
+// FormatHetero renders the heterogeneous sweep.
+func FormatHetero(rows []HeteroRow) string {
+	var b strings.Builder
+	b.WriteString("A3: heterogeneous programmable blocks (Section 6 future work)\n")
+	b.WriteString("2x2 block costs 1.5 pre-defined blocks; 4x4 costs 2.5\n")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	fmt.Fprintf(&b, "%6s %8s | %12s %12s %8s | %8s %8s\n",
+		"Inner", "Designs", "2x2-only", "2x2+4x4", "saved%", "#2x2", "#4x4")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	for _, r := range rows {
+		saved := 0.0
+		if r.HomoCost > 0 {
+			saved = 100 * (r.HomoCost - r.HeteroCost) / r.HomoCost
+		}
+		fmt.Fprintf(&b, "%6d %8d | %12.1f %12.1f %7.1f%% | %8d %8d\n",
+			r.Inner, r.Designs, r.HomoCost, r.HeteroCost, saved, r.Blocks2x2, r.Blocks4x4)
+	}
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(Table1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	// Every row where exhaustive ran: PareDown is within the paper's
+	// claimed 15% of optimal (Section 5.3) on the library.
+	for _, r := range rows {
+		if r.ExhRan {
+			if r.BlockOverhead < 0 {
+				t.Errorf("%s: heuristic beat the optimum (%d < %d)", r.Design, r.PDTotal, r.ExhTotal)
+			}
+			if r.OverheadPct > 15 {
+				t.Errorf("%s: overhead %.0f%% exceeds the paper's 15%% bound", r.Design, r.OverheadPct)
+			}
+		}
+		if r.PDTotal > r.Inner {
+			t.Errorf("%s: partitioning increased inner blocks", r.Design)
+		}
+	}
+	text := FormatTable1(rows)
+	for _, want := range []string{"Podium Timer 3", "Doorbell Extender 1", "--", "%Overhead"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1MatchesPaperColumns(t *testing.T) {
+	rows, err := RunTable1(Table1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Design == "Two Button Light" {
+			continue // documented erratum
+		}
+		if r.PaperPDTotal >= 0 && (r.PDTotal != r.PaperPDTotal || r.PDProg != r.PaperPDProg) {
+			t.Errorf("%s: PD %d/%d, paper %d/%d", r.Design, r.PDTotal, r.PDProg, r.PaperPDTotal, r.PaperPDProg)
+		}
+		if r.ExhRan && r.PaperExhTotal >= 0 && (r.ExhTotal != r.PaperExhTotal || r.ExhProg != r.PaperExhProg) {
+			t.Errorf("%s: exh %d/%d, paper %d/%d", r.Design, r.ExhTotal, r.ExhProg, r.PaperExhTotal, r.PaperExhProg)
+		}
+	}
+}
+
+func TestRunTable2Small(t *testing.T) {
+	rows, err := RunTable2(Table2Options{
+		Scale:             0.002, // a handful of designs per size
+		Sizes:             []int{3, 5, 8, 14, 20},
+		ExhaustiveLimit:   8,
+		ExhaustiveTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PDTotal <= 0 || r.PDTotal > float64(r.Inner) {
+			t.Errorf("size %d: avg PD total %.2f out of range", r.Inner, r.PDTotal)
+		}
+		if r.Inner <= 8 {
+			if !r.ExhRan {
+				t.Errorf("size %d: exhaustive did not run", r.Inner)
+				continue
+			}
+			if r.ExhTotal > r.PDTotal+1e-9 {
+				t.Errorf("size %d: optimal avg %.2f worse than heuristic %.2f", r.Inner, r.ExhTotal, r.PDTotal)
+			}
+		} else if r.ExhRan {
+			t.Errorf("size %d: exhaustive ran beyond the limit", r.Inner)
+		}
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "randomly generated designs") {
+		t.Error("table 2 header missing")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	rows, err := RunScaling(ScalingOptions{Sizes: []int{30, 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fit checks grow and stay within the paper's O(n^2) bound.
+	for _, r := range rows {
+		if r.FitChecks > r.Inner*(r.Inner+1)/2 {
+			t.Errorf("size %d: fit checks %d exceed n(n+1)/2", r.Inner, r.FitChecks)
+		}
+	}
+	if rows[1].FitChecks < rows[0].FitChecks {
+		t.Error("fit checks should grow with size")
+	}
+	if !strings.Contains(FormatScaling(rows), "465") {
+		t.Error("scaling header missing paper reference")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	opts := AblationOptions{Sizes: []int{6, 12}, DesignsPerSize: 25}
+	tb, err := RunAblationTieBreaks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := RunAblationAggregation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb) != 2 || len(ag) != 2 {
+		t.Fatal("row counts wrong")
+	}
+	for i := range ag {
+		if ag[i].CostB < ag[i].CostA {
+			t.Errorf("size %d: aggregation (%d) beat PareDown (%d) in aggregate",
+				ag[i].Inner, ag[i].CostB, ag[i].CostA)
+		}
+	}
+	out := FormatAblation("A1", "full", "no-ties", tb)
+	if !strings.Contains(out, "Δcost%") {
+		t.Error("ablation format missing delta column")
+	}
+}
+
+func TestRunHetero(t *testing.T) {
+	rows, err := RunHetero(AblationOptions{Sizes: []int{8, 14}, DesignsPerSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The bigger block can only help (same small block remains
+		// available).
+		if r.HeteroCost > r.HomoCost+1e-9 {
+			t.Errorf("size %d: hetero cost %.1f worse than homo %.1f", r.Inner, r.HeteroCost, r.HomoCost)
+		}
+	}
+	if !strings.Contains(FormatHetero(rows), "4x4") {
+		t.Error("hetero format missing block column")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	rows, err := RunSweep(SweepOptions{
+		Shapes:         [][2]int{{1, 1}, {2, 2}, {4, 4}},
+		RandomSizes:    []int{8},
+		DesignsPerSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A looser budget can only help (monotone in both dimensions).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RandomTotal > rows[i-1].RandomTotal {
+			t.Errorf("shape %dx%d random total %d worse than tighter %dx%d (%d)",
+				rows[i].MaxInputs, rows[i].MaxOutputs, rows[i].RandomTotal,
+				rows[i-1].MaxInputs, rows[i-1].MaxOutputs, rows[i-1].RandomTotal)
+		}
+		if rows[i].LibraryTotal > rows[i-1].LibraryTotal {
+			t.Errorf("shape %dx%d library total worse than tighter budget", rows[i].MaxInputs, rows[i].MaxOutputs)
+		}
+	}
+	if !strings.Contains(FormatSweep(rows), "Saved") {
+		t.Error("sweep format missing header")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "<1ms",
+		9 * time.Millisecond:    "9ms",
+		4790 * time.Millisecond: "4.79s",
+		220 * time.Second:       "3.67min",
+	}
+	for d, want := range cases {
+		if got := fmtDuration(d); got != want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

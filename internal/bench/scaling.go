@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randgen"
+)
+
+// ScalingRow is one point of the Section 5.2 scaling experiment (the
+// paper reports that "the decomposition method produced a result for a
+// design with 465 inner nodes in 80 seconds" on a 2 GHz Athlon XP).
+type ScalingRow struct {
+	Inner     int
+	Time      time.Duration
+	FitChecks int
+	Cost      int
+	Prog      int
+}
+
+// ScalingOptions configure the sweep.
+type ScalingOptions struct {
+	// Sizes to measure; default {50, 100, 200, 465} ending at the
+	// paper's headline size.
+	Sizes []int
+	// Constraints; zero means 2x2.
+	Constraints core.Constraints
+	// Seed for the generated designs.
+	Seed int64
+}
+
+func (o ScalingOptions) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return []int{50, 100, 200, 465}
+	}
+	return o.Sizes
+}
+
+func (o ScalingOptions) constraints() core.Constraints {
+	if o.Constraints.MaxInputs == 0 && o.Constraints.MaxOutputs == 0 {
+		return core.DefaultConstraints
+	}
+	return o.Constraints
+}
+
+// RunScaling measures PareDown on large generated designs.
+func RunScaling(opts ScalingOptions) ([]ScalingRow, error) {
+	c := opts.constraints()
+	var rows []ScalingRow
+	for _, size := range opts.sizes() {
+		d := randgen.MustGenerate(randgen.Params{InnerBlocks: size, Seed: opts.Seed + int64(size)})
+		g := d.Graph()
+		start := time.Now()
+		res, err := core.PareDown(g, c, core.PareDownOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling size %d: %w", size, err)
+		}
+		rows = append(rows, ScalingRow{
+			Inner:     size,
+			Time:      time.Since(start),
+			FitChecks: res.FitChecks,
+			Cost:      res.Cost(),
+			Prog:      len(res.Partitions),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the sweep with the paper's reference point.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	b.WriteString("Section 5.2 scaling: PareDown on large generated designs\n")
+	b.WriteString("(paper reference: 465 inner nodes in 80 s on a 2 GHz Athlon XP, Java)\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %8s %8s\n", "Inner", "Time", "FitChecks", "Total", "Prog")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12s %12d %8d %8d\n", r.Inner, fmtDuration(r.Time), r.FitChecks, r.Cost, r.Prog)
+	}
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/randgen"
+)
+
+// The port-budget sweep explores the design space the paper's Section 6
+// future work opens: how does the programmable block's input/output
+// budget affect network reduction? It runs PareDown across block shapes
+// on both the Table 1 library and random populations.
+
+// SweepRow is one (budget, workload) measurement.
+type SweepRow struct {
+	MaxInputs  int
+	MaxOutputs int
+	// LibraryTotal sums Inner Blocks (Total) over the 15 library
+	// designs (lower is better; 128 = sum of originals means no
+	// reduction).
+	LibraryTotal int
+	// RandomTotal sums over the random population.
+	RandomTotal int
+	// RandomBefore is the population's original inner-block sum.
+	RandomBefore int
+}
+
+// SweepOptions configure the sweep.
+type SweepOptions struct {
+	// Shapes to test; default 1x1 through 4x4 plus asymmetric 2x1,
+	// 1x2, 3x2, 2x3.
+	Shapes [][2]int
+	// RandomSizes and DesignsPerSize define the random population
+	// (defaults 10/20/30 and 50).
+	RandomSizes    []int
+	DesignsPerSize int
+	Seed           int64
+}
+
+func (o SweepOptions) shapes() [][2]int {
+	if len(o.Shapes) > 0 {
+		return o.Shapes
+	}
+	return [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 2}, {2, 3}, {3, 3}, {4, 4}}
+}
+
+func (o SweepOptions) randomSizes() []int {
+	if len(o.RandomSizes) > 0 {
+		return o.RandomSizes
+	}
+	return []int{10, 20, 30}
+}
+
+func (o SweepOptions) perSize() int {
+	if o.DesignsPerSize <= 0 {
+		return 50
+	}
+	return o.DesignsPerSize
+}
+
+// RunSweep measures PareDown reduction across programmable block
+// shapes.
+func RunSweep(opts SweepOptions) ([]SweepRow, error) {
+	// The random population is fixed up front so every shape sees the
+	// same designs.
+	var population []randgen.Params
+	for _, size := range opts.randomSizes() {
+		for i := 0; i < opts.perSize(); i++ {
+			population = append(population, randgen.Params{
+				InnerBlocks: size,
+				Seed:        opts.Seed + int64(size)*31337 + int64(i),
+			})
+		}
+	}
+
+	var rows []SweepRow
+	for _, shape := range opts.shapes() {
+		c := core.Constraints{MaxInputs: shape[0], MaxOutputs: shape[1]}
+		row := SweepRow{MaxInputs: shape[0], MaxOutputs: shape[1]}
+		for _, e := range designs.Library() {
+			d := e.Build()
+			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sweep %dx%d %s: %w", shape[0], shape[1], e.Name, err)
+			}
+			row.LibraryTotal += res.Cost()
+		}
+		for _, p := range population {
+			d := randgen.MustGenerate(p)
+			row.RandomBefore += p.InnerBlocks
+			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sweep %dx%d random: %w", shape[0], shape[1], err)
+			}
+			row.RandomTotal += res.Cost()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSweep renders the sweep table.
+func FormatSweep(rows []SweepRow) string {
+	var b strings.Builder
+	b.WriteString("Port-budget sweep: PareDown reduction vs programmable block shape\n")
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	fmt.Fprintf(&b, "%8s | %14s | %14s %14s %9s\n",
+		"Shape", "Library total", "Random before", "Random after", "Saved")
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	for _, r := range rows {
+		saved := 0.0
+		if r.RandomBefore > 0 {
+			saved = 100 * float64(r.RandomBefore-r.RandomTotal) / float64(r.RandomBefore)
+		}
+		fmt.Fprintf(&b, "%4dx%-3d | %14d | %14d %14d %8.1f%%\n",
+			r.MaxInputs, r.MaxOutputs, r.LibraryTotal, r.RandomBefore, r.RandomTotal, saved)
+	}
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	return b.String()
+}

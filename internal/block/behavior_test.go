@@ -1,0 +1,236 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/behavior"
+)
+
+// blockEnv drives one catalog block's program directly for behavioral
+// unit tests, maintaining previous-input bookkeeping like the
+// simulator.
+type blockEnv struct {
+	prog   *behavior.Program
+	in     map[string]int64
+	prev   map[string]int64
+	out    map[string]int64
+	state  map[string]int64
+	params map[string]int64
+	sched  []int64
+	fired  bool
+	now    int64
+}
+
+func newBlockEnv(t *testing.T, reg *Registry, typeName string, params map[string]int64) *blockEnv {
+	t.Helper()
+	tp := reg.Lookup(typeName)
+	if tp == nil || tp.Program == nil {
+		t.Fatalf("no program for %q", typeName)
+	}
+	e := &blockEnv{
+		prog: tp.Program,
+		in:   map[string]int64{}, prev: map[string]int64{},
+		out: map[string]int64{}, state: map[string]int64{},
+		params: params,
+	}
+	if e.params == nil {
+		e.params = map[string]int64{}
+	}
+	for _, st := range tp.Program.States {
+		e.state[st.Name] = st.Init
+	}
+	return e
+}
+
+func (e *blockEnv) Input(n string) (int64, bool)     { v, ok := e.in[n]; return v, ok }
+func (e *blockEnv) PrevInput(n string) (int64, bool) { v, ok := e.prev[n]; return v, ok }
+func (e *blockEnv) SetOutput(n string, v int64)      { e.out[n] = v }
+func (e *blockEnv) State(n string) int64             { return e.state[n] }
+func (e *blockEnv) SetState(n string, v int64)       { e.state[n] = v }
+func (e *blockEnv) Param(n string) (int64, bool)     { v, ok := e.params[n]; return v, ok }
+func (e *blockEnv) Schedule(tag int, d int64)        { e.sched = append(e.sched, d) }
+func (e *blockEnv) TimerFired(tag int) bool          { return e.fired }
+func (e *blockEnv) Now() int64                       { return e.now }
+
+// step evaluates once with the given inputs; timer indicates a timer
+// firing instead of a packet.
+func (e *blockEnv) step(t *testing.T, timer bool, inputs map[string]int64) {
+	t.Helper()
+	for k, v := range inputs {
+		e.in[k] = v
+	}
+	e.fired = timer
+	if err := behavior.Eval(e.prog, e); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range e.in {
+		e.prev[k] = v
+	}
+}
+
+func TestGateTruthTables(t *testing.T) {
+	reg := Standard()
+	gates := map[string]func(a, b int64) int64{
+		"And2":  func(a, b int64) int64 { return b2i(a != 0 && b != 0) },
+		"Or2":   func(a, b int64) int64 { return b2i(a != 0 || b != 0) },
+		"Xor2":  func(a, b int64) int64 { return b2i((a != 0) != (b != 0)) },
+		"Nand2": func(a, b int64) int64 { return b2i(!(a != 0 && b != 0)) },
+		"Nor2":  func(a, b int64) int64 { return b2i(!(a != 0 || b != 0)) },
+	}
+	for name, fn := range gates {
+		for _, a := range []int64{0, 1} {
+			for _, b := range []int64{0, 1} {
+				e := newBlockEnv(t, reg, name, nil)
+				e.step(t, false, map[string]int64{"a": a, "b": b})
+				if e.out["y"] != fn(a, b) {
+					t.Errorf("%s(%d,%d) = %d, want %d", name, a, b, e.out["y"], fn(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestThreeInputGates(t *testing.T) {
+	reg := Standard()
+	for _, tc := range []struct {
+		name string
+		fn   func(a, b, c int64) int64
+	}{
+		{"And3", func(a, b, c int64) int64 { return b2i(a != 0 && b != 0 && c != 0) }},
+		{"Or3", func(a, b, c int64) int64 { return b2i(a != 0 || b != 0 || c != 0) }},
+	} {
+		for mask := int64(0); mask < 8; mask++ {
+			a, b, c := mask>>2&1, mask>>1&1, mask&1
+			e := newBlockEnv(t, reg, tc.name, nil)
+			e.step(t, false, map[string]int64{"a": a, "b": b, "c": c})
+			if e.out["y"] != tc.fn(a, b, c) {
+				t.Errorf("%s(%d,%d,%d) = %d", tc.name, a, b, c, e.out["y"])
+			}
+		}
+	}
+}
+
+func TestTruthTable3Property(t *testing.T) {
+	reg := Standard()
+	f := func(tt uint8, mask uint8) bool {
+		a, b, c := int64(mask>>2&1), int64(mask>>1&1), int64(mask&1)
+		e := newBlockEnv(t, reg, "TruthTable3", map[string]int64{"TT": int64(tt)})
+		e.step(t, false, map[string]int64{"a": a, "b": b, "c": c})
+		idx := uint(a*4 + b*2 + c)
+		return e.out["y"] == int64(tt>>idx&1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotAndCommBlocks(t *testing.T) {
+	reg := Standard()
+	for _, v := range []int64{0, 1} {
+		e := newBlockEnv(t, reg, "Not", nil)
+		e.step(t, false, map[string]int64{"a": v})
+		if e.out["y"] != 1-v {
+			t.Errorf("Not(%d) = %d", v, e.out["y"])
+		}
+		for _, comm := range []string{"WireExtender", "RFLink", "X10Bridge"} {
+			e := newBlockEnv(t, reg, comm, nil)
+			e.step(t, false, map[string]int64{"a": v})
+			if e.out["y"] != v {
+				t.Errorf("%s(%d) = %d", comm, v, e.out["y"])
+			}
+		}
+	}
+}
+
+func TestSplitterDuplicates(t *testing.T) {
+	e := newBlockEnv(t, Standard(), "Splitter", nil)
+	e.step(t, false, map[string]int64{"a": 1})
+	if e.out["y0"] != 1 || e.out["y1"] != 1 {
+		t.Fatalf("splitter outputs = %v", e.out)
+	}
+}
+
+func TestProlongStretchesPulse(t *testing.T) {
+	e := newBlockEnv(t, Standard(), "Prolong", map[string]int64{"HOLD": 500})
+	// Rising edge at t=100: output high, timer armed for 500 ms.
+	e.now = 100
+	e.step(t, false, map[string]int64{"a": 1})
+	if e.out["y"] != 1 || len(e.sched) != 1 || e.sched[0] != 500 {
+		t.Fatalf("prolong on rising: out=%v sched=%v", e.out, e.sched)
+	}
+	// Input drops at 200: output holds.
+	e.now = 200
+	e.step(t, false, map[string]int64{"a": 0})
+	if e.out["y"] != 1 {
+		t.Fatal("prolong dropped early")
+	}
+	// Timer fires at 600 (past the deadline 100+500): output clears.
+	e.now = 600
+	e.step(t, true, nil)
+	if e.out["y"] != 0 {
+		t.Fatal("prolong failed to clear")
+	}
+}
+
+func TestProlongRetrigger(t *testing.T) {
+	e := newBlockEnv(t, Standard(), "Prolong", map[string]int64{"HOLD": 500})
+	e.now = 100
+	e.step(t, false, map[string]int64{"a": 1})
+	e.now = 200
+	e.step(t, false, map[string]int64{"a": 0})
+	// Re-trigger at 300 pushes the deadline to 800.
+	e.now = 300
+	e.step(t, false, map[string]int64{"a": 1})
+	// First timer (from t=100) fires at 600: deadline is 800, so the
+	// output must hold.
+	e.now = 600
+	e.step(t, true, map[string]int64{"a": 0})
+	if e.out["y"] != 0 && e.out["y"] != 1 {
+		t.Fatal("unreachable")
+	}
+	if e.out["y"] != 1 {
+		t.Fatal("prolong cleared before the extended deadline")
+	}
+	// Second timer at 800 clears it.
+	e.now = 800
+	e.step(t, true, nil)
+	if e.out["y"] != 0 {
+		t.Fatal("prolong failed to clear at extended deadline")
+	}
+}
+
+func TestOnceEveryRateLimits(t *testing.T) {
+	e := newBlockEnv(t, Standard(), "OnceEvery", map[string]int64{"PERIOD": 1000})
+	// First edge passes.
+	e.step(t, false, map[string]int64{"a": 1})
+	if e.out["y"] != 1 {
+		t.Fatal("first edge blocked")
+	}
+	// Second edge within the period is swallowed (y stays latched from
+	// the block's perspective until the timer clears it, but no new
+	// schedule happens while disarmed).
+	scheds := len(e.sched)
+	e.step(t, false, map[string]int64{"a": 0})
+	e.step(t, false, map[string]int64{"a": 1})
+	if len(e.sched) != scheds {
+		t.Fatal("disarmed block scheduled again")
+	}
+	// Period elapses: re-armed and output cleared.
+	e.step(t, true, nil)
+	if e.out["y"] != 0 {
+		t.Fatal("output not cleared at period end")
+	}
+	e.step(t, false, map[string]int64{"a": 0})
+	e.step(t, false, map[string]int64{"a": 1})
+	if e.out["y"] != 1 {
+		t.Fatal("re-armed edge blocked")
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/block"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// TestBootSuppressionMatchesSettleSemantics is the regression test for
+// the power-up edge bug: a Not block inside a partition drives a Trip
+// trigger. At settle the Not's wire goes 0 -> 1 *within* the merged
+// block's first evaluation; the standalone design's settle pass
+// suppresses that edge (each block's previous-input snapshot is latched
+// before its settle evaluation), so the merged program must too — the
+// Trip must NOT latch at power-up.
+func TestBootSuppressionMatchesSettleSemantics(t *testing.T) {
+	d := netlist.NewDesign("boot", block.Standard())
+	d.MustAddBlock("arm", "Button")
+	d.MustAddBlock("clr", "Button")
+	inv := d.MustAddBlock("inv", "Not")
+	trip := d.MustAddBlock("trip", "Trip")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("arm", "y", "inv", "a")
+	d.MustConnect("inv", "y", "trip", "trigger")
+	d.MustConnect("clr", "y", "trip", "reset")
+	d.MustConnect("trip", "y", "led", "a")
+
+	m, err := MergePartition(d, graph.NewNodeSet(inv, trip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := behavior.Format(m.Program)
+	if !strings.Contains(text, "boot") {
+		t.Fatalf("merged program lacks the boot flag:\n%s", text)
+	}
+
+	env := newMergedEnv(m.Program)
+	// Power-up settle evaluation: arm=0 => inv wire becomes 1 inside
+	// this very evaluation. The trip must not see a rising edge.
+	env.step(t, m.Program, map[string]int64{"in0": 0, "in1": 0})
+	if env.out["out0"] != 0 {
+		t.Fatalf("trip latched at power-up: out0 = %d", env.out["out0"])
+	}
+	// A real falling-then-rising sequence still trips it.
+	env.step(t, m.Program, map[string]int64{"in0": 1}) // inv 1->0
+	if env.out["out0"] != 0 {
+		t.Fatal("trip latched on falling edge")
+	}
+	env.step(t, m.Program, map[string]int64{"in0": 0}) // inv 0->1: rising
+	if env.out["out0"] != 1 {
+		t.Fatal("trip missed a genuine rising edge after power-up")
+	}
+	// Reset still works.
+	env.step(t, m.Program, map[string]int64{"in1": 1})
+	if env.out["out0"] != 0 {
+		t.Fatal("trip reset failed")
+	}
+}
+
+// TestNoShadowForPureConsumers checks the shadow allocation is lazy:
+// wires consumed only by level-sensitive logic get no _prev state.
+func TestNoShadowForPureConsumers(t *testing.T) {
+	d := netlist.NewDesign("pure", block.Standard())
+	d.MustAddBlock("s", "Button")
+	a := d.MustAddBlock("a", "Not")
+	b := d.MustAddBlock("b", "Not")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("s", "y", "a", "a")
+	d.MustConnect("a", "y", "b", "a")
+	d.MustConnect("b", "y", "led", "a")
+	m, err := MergePartition(d, graph.NewNodeSet(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := behavior.Format(m.Program)
+	if strings.Contains(text, "_prev") || strings.Contains(text, "boot") {
+		t.Fatalf("combinational merge allocated shadows:\n%s", text)
+	}
+}

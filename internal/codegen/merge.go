@@ -1,0 +1,313 @@
+// Package codegen implements the code-generation step of the synthesis
+// flow (paper Section 3.3): given a partition of pre-defined compute
+// blocks, it merges their behavior syntax trees into one program for a
+// programmable block.
+//
+// Following the paper: each block in the partition is assigned a level
+// (the maximum distance from any sensor block); syntax trees are
+// attached in non-decreasing level order so no tree is evaluated before
+// its producers; tree nodes that access a block's input or output are
+// changed into variable accesses, so communication between two blocks in
+// a partition happens internally via variables; and name conflicts
+// between blocks' internal variables are resolved by renaming.
+//
+// Beyond the paper's narration, merging must also preserve edge
+// detection (a toggle inside a partition still reacts to rising edges of
+// its now-internal input) and timers (two pulse generators merged into
+// one block need distinct timers). Internal edges are rewritten to
+// explicit previous-value state comparisons, and each member's timers
+// are re-tagged with the member's index.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/behavior"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Merged is the program synthesized for one partition, together with
+// the port maps needed to wire the programmable block into the network.
+type Merged struct {
+	// Program is the merged behavior; its inputs are named in0..inN-1
+	// and outputs out0..outM-1, matching block.ProgrammableType.
+	Program *behavior.Program
+	// InputMap[k] is the external driver output port feeding merged
+	// input pin k.
+	InputMap []graph.Port
+	// OutputMap[j] is the member output port exported on merged output
+	// pin j.
+	OutputMap []graph.Port
+	// Members lists the partition's blocks in merge (level) order.
+	Members []graph.NodeID
+}
+
+// NumIn returns the merged block's used input count.
+func (m *Merged) NumIn() int { return len(m.InputMap) }
+
+// NumOut returns the merged block's used output count.
+func (m *Merged) NumOut() int { return len(m.OutputMap) }
+
+// MergePartition builds the merged program for the given partition of
+// the design. The partition must contain at least one inner block, and
+// every member must have a behavior program.
+func MergePartition(d *netlist.Design, part graph.NodeSet) (*Merged, error) {
+	if part.Len() == 0 {
+		return nil, fmt.Errorf("codegen: empty partition")
+	}
+	g := d.Graph()
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+
+	// Member order: non-decreasing level (the paper's evaluation
+	// order), node ID for determinism within a level.
+	members := part.Sorted()
+	sort.SliceStable(members, func(i, j int) bool {
+		if levels[members[i]] != levels[members[j]] {
+			return levels[members[i]] < levels[members[j]]
+		}
+		return members[i] < members[j]
+	})
+	for _, id := range members {
+		if g.Role(id) != graph.RoleInner {
+			return nil, fmt.Errorf("codegen: partition member %q is not an inner block", g.Name(id))
+		}
+		if d.Program(id) == nil {
+			return nil, fmt.Errorf("codegen: partition member %q has no behavior program", g.Name(id))
+		}
+	}
+
+	m := &Merged{Members: members}
+
+	// Merged inputs: distinct external driver ports, ordered by
+	// (node, pin) for determinism.
+	extIn := map[graph.Port]int{} // driver port -> merged input pin
+	var extInOrder []graph.Port
+	for _, id := range members {
+		for _, e := range g.InEdges(id) {
+			if !part.Has(e.From.Node) {
+				if _, seen := extIn[e.From]; !seen {
+					extIn[e.From] = 0 // assigned after sorting
+					extInOrder = append(extInOrder, e.From)
+				}
+			}
+		}
+	}
+	sort.Slice(extInOrder, func(i, j int) bool { return extInOrder[i].Less(extInOrder[j]) })
+	for k, p := range extInOrder {
+		extIn[p] = k
+	}
+	m.InputMap = extInOrder
+
+	// Wire variables: one per member output port, ordered (node, pin).
+	type wire struct {
+		port graph.Port
+		name string // state variable name in the merged program
+		prev string // previous-value shadow, allocated on demand
+	}
+	wires := map[graph.Port]*wire{}
+	var wireOrder []graph.Port
+	for _, id := range members {
+		for pin := 0; pin < g.NumOut(id); pin++ {
+			p := graph.Port{Node: id, Pin: pin}
+			wires[p] = &wire{port: p}
+			wireOrder = append(wireOrder, p)
+		}
+	}
+	sort.Slice(wireOrder, func(i, j int) bool { return wireOrder[i].Less(wireOrder[j]) })
+	for k, p := range wireOrder {
+		wires[p].name = fmt.Sprintf("w%d", k)
+	}
+
+	// Merged outputs: distinct member ports feeding outside, ordered.
+	var exported []graph.Port
+	seenExport := map[graph.Port]bool{}
+	for _, id := range members {
+		for _, e := range g.AllOutEdges(id) {
+			if !part.Has(e.To.Node) && !seenExport[e.From] {
+				seenExport[e.From] = true
+				exported = append(exported, e.From)
+			}
+		}
+	}
+	sort.Slice(exported, func(i, j int) bool { return exported[i].Less(exported[j]) })
+	m.OutputMap = exported
+
+	prog := &behavior.Program{Run: &behavior.BlockStmt{}}
+	for k := range extInOrder {
+		prog.Inputs = append(prog.Inputs, fmt.Sprintf("in%d", k))
+	}
+	for j := range exported {
+		prog.Outputs = append(prog.Outputs, fmt.Sprintf("out%d", j))
+	}
+	for _, p := range wireOrder {
+		prog.States = append(prog.States, behavior.VarDecl{Name: wires[p].name})
+	}
+
+	// Previous-value shadows are allocated lazily: only wires whose
+	// consumers use edge detection need them. A `boot` flag suppresses
+	// edge detection on internal wires during the merged block's first
+	// (power-up settle) evaluation, matching the simulator's per-block
+	// settle semantics: before a member first reads an edge, the wire's
+	// shadow is latched to the freshly computed wire value.
+	needPrev := map[graph.Port]bool{}
+	const bootVar = "boot"
+
+	// Per-member rewrite and attach.
+	for idx, id := range members {
+		src := d.Program(id)
+		edgeInputs := map[string]bool{}
+		for _, n := range behavior.EdgeArgs(src.Run) {
+			edgeInputs[n] = true
+		}
+		sub := behavior.NewSubst()
+		sub.TimerTag = idx
+
+		// Parameters become literals (configured or default value).
+		for _, pd := range src.Params {
+			v := pd.Init
+			if cfg, ok := d.Param(id, pd.Name); ok {
+				v = cfg
+			}
+			sub.Reads[pd.Name] = &behavior.IntLit{Val: v}
+		}
+		// States get a per-member prefix.
+		for _, st := range src.States {
+			renamed := fmt.Sprintf("b%d_%s", idx, st.Name)
+			sub.Reads[st.Name] = &behavior.Ident{Name: renamed}
+			sub.Writes[st.Name] = renamed
+			prog.States = append(prog.States, behavior.VarDecl{Name: renamed, Init: st.Init})
+		}
+		// Inputs become merged input ports or wire variables.
+		for pin, inName := range src.Inputs {
+			e := g.Driver(id, pin)
+			if e == nil {
+				// Undriven input reads as constant 0.
+				sub.Reads[inName] = &behavior.IntLit{Val: 0}
+				sub.EdgeFns[inName] = behavior.EdgePair{
+					Cur:  &behavior.IntLit{Val: 0},
+					Prev: &behavior.IntLit{Val: 0},
+				}
+				continue
+			}
+			if part.Has(e.From.Node) {
+				w := wires[e.From]
+				sub.Reads[inName] = &behavior.Ident{Name: w.name}
+				if edgeInputs[inName] {
+					needPrev[e.From] = true
+					sub.EdgeFns[inName] = behavior.EdgePair{
+						Cur:  &behavior.Ident{Name: w.name},
+						Prev: &behavior.Ident{Name: prevName(w.name)},
+					}
+				}
+			} else {
+				merged := fmt.Sprintf("in%d", extIn[e.From])
+				sub.Reads[inName] = &behavior.Ident{Name: merged}
+				// Edge builtins survive on real inputs: the runtime
+				// tracks previous input values of the merged block.
+			}
+		}
+		// Outputs become wire variables.
+		for pin, outName := range src.Outputs {
+			sub.Writes[outName] = wires[graph.Port{Node: id, Pin: pin}].name
+		}
+
+		body, err := behavior.RewriteStmt(src.Run, sub)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: merging %q: %w", g.Name(id), err)
+		}
+		// Power-up suppression: before this member first evaluates edge
+		// detection on an internal wire, latch the wire's shadow to the
+		// value its producer just computed (producers run earlier in
+		// the body — non-decreasing level order).
+		for pin, inName := range src.Inputs {
+			if !edgeInputs[inName] {
+				continue
+			}
+			e := g.Driver(id, pin)
+			if e == nil || !part.Has(e.From.Node) {
+				continue
+			}
+			w := wires[e.From]
+			prog.Run.Stmts = append(prog.Run.Stmts, &behavior.IfStmt{
+				Cond: &behavior.Ident{Name: bootVar},
+				Then: &behavior.BlockStmt{Stmts: []behavior.Stmt{
+					&behavior.AssignStmt{
+						Name: prevName(w.name),
+						X:    &behavior.Ident{Name: w.name},
+					},
+				}},
+			})
+		}
+		prog.Run.Stmts = append(prog.Run.Stmts, body.(*behavior.BlockStmt).Stmts...)
+	}
+
+	// Epilogue 1: export wires on merged output ports.
+	for j, p := range exported {
+		prog.Run.Stmts = append(prog.Run.Stmts, &behavior.AssignStmt{
+			Name: fmt.Sprintf("out%d", j),
+			X:    &behavior.Ident{Name: wires[p].name},
+		})
+	}
+	// Epilogue 2: update previous-value shadows (after all reads) and
+	// clear the power-up flag.
+	var prevPorts []graph.Port
+	for p := range needPrev {
+		prevPorts = append(prevPorts, p)
+	}
+	sort.Slice(prevPorts, func(i, j int) bool { return prevPorts[i].Less(prevPorts[j]) })
+	for _, p := range prevPorts {
+		w := wires[p]
+		prog.States = append(prog.States, behavior.VarDecl{Name: prevName(w.name)})
+		prog.Run.Stmts = append(prog.Run.Stmts, &behavior.AssignStmt{
+			Name: prevName(w.name),
+			X:    &behavior.Ident{Name: w.name},
+		})
+	}
+	if len(prevPorts) > 0 {
+		prog.States = append(prog.States, behavior.VarDecl{Name: bootVar, Init: 1})
+		prog.Run.Stmts = append(prog.Run.Stmts, &behavior.AssignStmt{
+			Name: bootVar,
+			X:    &behavior.IntLit{Val: 0},
+		})
+	}
+
+	// Simplify: parameter inlining leaves constant shift/mask machinery
+	// (e.g. configured truth tables) that folds to compact logic.
+	prog.Run = behavior.OptimizeStmt(prog.Run).(*behavior.BlockStmt)
+
+	if err := behavior.Check(prog); err != nil {
+		return nil, fmt.Errorf("codegen: merged program for partition %v is invalid: %w", part, err)
+	}
+	m.Program = prog
+	return m, nil
+}
+
+func prevName(wire string) string { return wire + "_prev" }
+
+// PadPorts extends the merged program's declared ports to the full
+// physical budget of a programmable block type (unused pins must still
+// exist so the program interface matches the block type). Extra outputs
+// are driven to 0.
+func (m *Merged) PadPorts(nin, nout int) error {
+	if len(m.InputMap) > nin || len(m.OutputMap) > nout {
+		return fmt.Errorf("codegen: merged program uses %dx%d ports, exceeding block budget %dx%d",
+			len(m.InputMap), len(m.OutputMap), nin, nout)
+	}
+	for k := len(m.Program.Inputs); k < nin; k++ {
+		m.Program.Inputs = append(m.Program.Inputs, fmt.Sprintf("in%d", k))
+	}
+	for j := len(m.Program.Outputs); j < nout; j++ {
+		name := fmt.Sprintf("out%d", j)
+		m.Program.Outputs = append(m.Program.Outputs, name)
+		m.Program.Run.Stmts = append(m.Program.Run.Stmts, &behavior.AssignStmt{
+			Name: name,
+			X:    &behavior.IntLit{Val: 0},
+		})
+	}
+	return behavior.Check(m.Program)
+}

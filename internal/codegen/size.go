@@ -1,0 +1,79 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/behavior"
+)
+
+// Program-size estimation. The paper assumes a partition's merged
+// program always fits the PIC16F628's 2 KB program memory and notes the
+// algorithm "could easily be extended with size constraints" (Section
+// 3.3). This file provides that extension: a deterministic estimate of
+// the compiled footprint of a behavior program, in instruction words,
+// derived from the bytecode compiler (one VM instruction approximates a
+// short fixed sequence of PIC instructions), plus the per-block runtime
+// overhead.
+
+// SizeModel prices a behavior program in device instruction words.
+type SizeModel struct {
+	// WordsPerInstr is the average device instructions emitted per VM
+	// instruction (default 3: load/op/store sequences on a mid-range
+	// PIC).
+	WordsPerInstr int
+	// RuntimeWords is the fixed runtime footprint per block: packet
+	// protocol handling, timer dispatch, I/O latching (default 220).
+	RuntimeWords int
+	// WordsPerState covers init code and RAM bookkeeping per state
+	// variable and per input shadow (default 2).
+	WordsPerState int
+}
+
+// DefaultSizeModel approximates the paper's PIC16F628 target (2048
+// 14-bit instruction words).
+var DefaultSizeModel = SizeModel{WordsPerInstr: 3, RuntimeWords: 220, WordsPerState: 2}
+
+// PIC16F628Words is the program memory of the paper's prototype device.
+const PIC16F628Words = 2048
+
+func (m SizeModel) withDefaults() SizeModel {
+	if m.WordsPerInstr <= 0 {
+		m.WordsPerInstr = DefaultSizeModel.WordsPerInstr
+	}
+	if m.RuntimeWords <= 0 {
+		m.RuntimeWords = DefaultSizeModel.RuntimeWords
+	}
+	if m.WordsPerState <= 0 {
+		m.WordsPerState = DefaultSizeModel.WordsPerState
+	}
+	return m
+}
+
+// EstimateSize returns the estimated device footprint of a behavior
+// program in instruction words.
+func EstimateSize(p *behavior.Program, model SizeModel) (int, error) {
+	model = model.withDefaults()
+	c, err := behavior.Compile(p)
+	if err != nil {
+		return 0, fmt.Errorf("codegen: size estimate: %w", err)
+	}
+	words := model.RuntimeWords +
+		c.NumInstr()*model.WordsPerInstr +
+		(len(p.States)+len(p.Inputs))*model.WordsPerState
+	return words, nil
+}
+
+// CheckSize verifies that the merged program fits a device with the
+// given program memory; it returns the estimate along with an error if
+// it does not fit.
+func (m *Merged) CheckSize(model SizeModel, capacityWords int) (int, error) {
+	words, err := EstimateSize(m.Program, model)
+	if err != nil {
+		return 0, err
+	}
+	if capacityWords > 0 && words > capacityWords {
+		return words, fmt.Errorf("codegen: merged program needs ~%d words, device has %d",
+			words, capacityWords)
+	}
+	return words, nil
+}

@@ -1,0 +1,95 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/graph"
+)
+
+func TestEstimateSizeGrowsWithProgram(t *testing.T) {
+	small := behavior.MustParse("input a; output y; run { y = a; }")
+	big := behavior.MustParse(`input a, b; output y; state s = 0;
+        run {
+            if (rising(a)) { s = s + 1; }
+            if (falling(b)) { s = s - 1; }
+            if (s > 10) { s = 10; } else if (s < 0) { s = 0; }
+            y = s >= 5;
+        }`)
+	ws, err := EstimateSize(small, SizeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := EstimateSize(big, SizeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb <= ws {
+		t.Fatalf("big program (%d words) not larger than small (%d)", wb, ws)
+	}
+	if ws <= DefaultSizeModel.RuntimeWords {
+		t.Fatalf("estimate %d below runtime floor", ws)
+	}
+}
+
+func TestPaperAssumptionHolds(t *testing.T) {
+	// Section 3.3's practical assumption: no partition of a real eBlock
+	// system overflows the PIC16F628. Check every partition the
+	// heuristic finds across the whole design library.
+	for _, e := range designs.Library() {
+		d := e.Build()
+		res, err := core.PareDown(d.Graph(), core.DefaultConstraints, core.PareDownOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range res.Partitions {
+			m, err := MergePartition(d, p)
+			if err != nil {
+				t.Fatalf("%s partition %d: %v", e.Name, i, err)
+			}
+			words, err := m.CheckSize(SizeModel{}, PIC16F628Words)
+			if err != nil {
+				t.Errorf("%s partition %d: %v", e.Name, i, err)
+			}
+			if words <= 0 {
+				t.Errorf("%s partition %d: nonsense estimate %d", e.Name, i, words)
+			}
+		}
+	}
+}
+
+func TestCheckSizeRejectsTinyDevice(t *testing.T) {
+	d, part := twoGateDesign(t)
+	m, err := MergePartition(d, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CheckSize(SizeModel{}, 10); err == nil {
+		t.Fatal("10-word device accepted")
+	}
+	if _, err := m.CheckSize(SizeModel{}, 0); err != nil {
+		t.Fatalf("unlimited capacity rejected: %v", err)
+	}
+}
+
+func TestSizeMonotoneInPartitionSize(t *testing.T) {
+	// Merging more blocks costs more words.
+	g := designs.PodiumTimer3()
+	gr := g.Graph()
+	n2, n3, n4, n5 := gr.Lookup("n2"), gr.Lookup("n3"), gr.Lookup("n4"), gr.Lookup("n5")
+	m2, err := MergePartition(g, graph.NewNodeSet(n2, n3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := MergePartition(g, graph.NewNodeSet(n2, n3, n4, n5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := m2.CheckSize(SizeModel{}, 0)
+	w4, _ := m4.CheckSize(SizeModel{}, 0)
+	if w4 <= w2 {
+		t.Fatalf("4-block merge (%d) not larger than 2-block (%d)", w4, w2)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Aggregation implements the bottom-up clustering heuristic that the
+// paper tried before PareDown (Section 4.2): "From a list of inner
+// nodes connected to a primary input, the aggregation method repeatedly
+// selects a node that fits within a programmable block as a partition."
+// Clusters are grown greedily from sensor-adjacent seeds by absorbing
+// neighboring unpartitioned blocks while the cluster still fits; the
+// method has no look-ahead and therefore cannot exploit convergence,
+// which is why the paper found it "often produced non-optimal results".
+// It is retained as the baseline for ablation A2.
+func Aggregation(g *graph.Graph, c Constraints) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: "aggregation"}
+	free := graph.NewNodeSet(g.PartitionableNodes()...)
+
+	// Seed order: inner nodes adjacent to a primary input first (the
+	// paper's "list of inner nodes connected to a primary input"), then
+	// the rest; within each class, by level then ID for determinism.
+	seeds := append([]graph.NodeID(nil), g.PartitionableNodes()...)
+	sort.Slice(seeds, func(i, j int) bool {
+		a, b := seeds[i], seeds[j]
+		sa, sb := sensorAdjacent(g, a), sensorAdjacent(g, b)
+		if sa != sb {
+			return sa
+		}
+		if levels[a] != levels[b] {
+			return levels[a] < levels[b]
+		}
+		return a < b
+	})
+
+	for _, seed := range seeds {
+		if !free.Has(seed) {
+			continue
+		}
+		cluster := graph.NewNodeSet(seed)
+		res.FitChecks++
+		if !Fits(g, cluster, c) {
+			// Even alone the block exceeds the budget (e.g. a 3-input
+			// gate against a 2-input programmable block): leave it.
+			continue
+		}
+		grown := true
+		for grown {
+			grown = false
+			for _, nb := range clusterNeighbors(g, cluster, free) {
+				cluster.Add(nb)
+				res.FitChecks++
+				if Fits(g, cluster, c) && pareAcyclicWith(g, c, res.Partitions, cluster) {
+					grown = true
+					break
+				}
+				cluster.Remove(nb)
+			}
+		}
+		if cluster.Len() >= 2 {
+			res.Partitions = append(res.Partitions, cluster)
+			for id := range cluster {
+				free.Remove(id)
+			}
+		}
+	}
+	res.Uncovered = uncoveredFrom(g, res.Partitions)
+	return res, nil
+}
+
+// sensorAdjacent reports whether any driver of id is a primary input.
+func sensorAdjacent(g *graph.Graph, id graph.NodeID) bool {
+	for _, e := range g.InEdges(id) {
+		if g.Role(e.From.Node) == graph.RolePrimaryInput {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterNeighbors returns the free inner nodes adjacent to the
+// cluster, in ascending ID order.
+func clusterNeighbors(g *graph.Graph, cluster, free graph.NodeSet) []graph.NodeID {
+	set := graph.NewNodeSet()
+	for id := range cluster {
+		for _, m := range g.Successors(id) {
+			if free.Has(m) && !cluster.Has(m) {
+				set.Add(m)
+			}
+		}
+		for _, m := range g.Predecessors(id) {
+			if free.Has(m) && !cluster.Has(m) {
+				set.Add(m)
+			}
+		}
+	}
+	return set.Sorted()
+}

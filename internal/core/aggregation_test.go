@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregationChain(t *testing.T) {
+	g := chainDesign(4)
+	res, err := Aggregation(g, DefaultConstraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, DefaultConstraints); err != nil {
+		t.Fatal(err)
+	}
+	// A chain is easy even without look-ahead.
+	if res.Cost() != 1 {
+		t.Fatalf("aggregation chain cost = %d", res.Cost())
+	}
+}
+
+func TestAggregationAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := func() bool {
+		g := randomTestDAG(rng, 1+rng.Intn(18))
+		c := Constraints{MaxInputs: 1 + rng.Intn(3), MaxOutputs: 1 + rng.Intn(3)}
+		res, err := Aggregation(g, c)
+		if err != nil {
+			return false
+		}
+		return res.Validate(g, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPareDownNeverWorseThanAggregationOnAverage(t *testing.T) {
+	// The paper's motivation for PareDown: aggregation lacks
+	// look-ahead. Aggregated over many random designs, PareDown's total
+	// cost must be no worse (individual designs may tie or diverge
+	// either way, but the aggregate should favor PareDown).
+	rng := rand.New(rand.NewSource(41))
+	pdTotal, agTotal := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		g := randomTestDAG(rng, 4+rng.Intn(12))
+		pd, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := Aggregation(g, DefaultConstraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdTotal += pd.Cost()
+		agTotal += ag.Cost()
+	}
+	if pdTotal > agTotal {
+		t.Fatalf("PareDown total %d worse than aggregation total %d over random designs", pdTotal, agTotal)
+	}
+}
+
+func TestAggregationMissesConvergence(t *testing.T) {
+	// On the convergent cone, aggregation's greedy growth still finds
+	// *some* clustering, but it must not beat PareDown; on this shape
+	// PareDown is strictly better or equal.
+	g := convergent()
+	ag, err := Aggregation(g, DefaultConstraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Cost() > ag.Cost() {
+		t.Fatalf("paredown %d worse than aggregation %d on convergent cone", pd.Cost(), ag.Cost())
+	}
+}

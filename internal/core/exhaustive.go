@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExhaustiveOptions tune the optimal search.
+type ExhaustiveOptions struct {
+	// Ctx, when non-nil, allows cancelling long searches (the paper
+	// aborted its 14-inner-block run after four hours). Cancellation
+	// returns ctx.Err().
+	Ctx context.Context
+	// InitialBound seeds branch-and-bound with a known-achievable cost
+	// (e.g. the PareDown result). 0 means no seed.
+	InitialBound int
+	// DisableBound turns branch-and-bound off, leaving only the paper's
+	// empty-block symmetry pruning; used by the ablation benches to
+	// measure the raw search like the 2005 implementation.
+	DisableBound bool
+}
+
+// Exhaustive finds a minimum-cost partitioning by enumerating every
+// assignment of inner blocks to programmable blocks (Section 4.1). The
+// search space is "every combination of n blocks into n programmable
+// blocks (a combination need not use every block)"; the paper's pruning
+// — all empty programmable blocks are indistinguishable — is realized
+// here by restricted-growth enumeration (a block may open at most one
+// new group). A sound branch-and-bound on the partial cost
+// (groups + unassigned, both monotone along a branch) is added on top;
+// I/O feasibility is checked with a *permanent-demand* bound: only
+// connectivity to already-placed or never-placeable nodes counts, since
+// future additions can still internalize other edges (the convergence
+// property that makes naive feasibility pruning unsound).
+func Exhaustive(g *graph.Graph, c Constraints, opts ExhaustiveOptions) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	inner := g.PartitionableNodes()
+	n := len(inner)
+	s := &searcher{
+		g:     g,
+		c:     c,
+		inner: inner,
+		pos:   make(map[graph.NodeID]int, n),
+		best:  n + 1, // cost of leaving everything uncovered, plus one
+		opts:  opts,
+		res:   &Result{Algorithm: "exhaustive"},
+	}
+	for i, id := range inner {
+		s.pos[id] = i
+	}
+	seeded := opts.InitialBound > 0 && opts.InitialBound <= n
+	switch {
+	case seeded:
+		// Only solutions strictly better than the seed are of
+		// interest; ties are not reported (bestCovered sentinel).
+		s.best = opts.InitialBound
+		s.bestCovered = 1 << 30
+	case !opts.DisableBound:
+		// Seed branch-and-bound with the PareDown solution: the search
+		// then only explores assignments that could beat the heuristic
+		// (in cost, or in coverage at equal cost), which prunes
+		// enormously while preserving optimality — if nothing better
+		// exists, the heuristic's solution *is* optimal and is
+		// returned as the incumbent.
+		if pd, err := PareDown(g, c, PareDownOptions{}); err == nil {
+			s.best = pd.Cost()
+			s.bestCovered = pd.Covered()
+			s.bestParts = pd.Partitions
+		}
+	}
+	if err := s.search(0, nil, 0); err != nil {
+		return nil, err
+	}
+	if s.bestParts == nil {
+		if seeded {
+			return nil, errSeedStands
+		}
+		// Unreachable: either the heuristic incumbent is present or the
+		// all-uncovered leaf (cost n) beats the initial bound n+1.
+		s.bestParts = []graph.NodeSet{}
+	}
+	s.res.Partitions = s.bestParts
+	s.res.Uncovered = uncoveredFrom(g, s.bestParts)
+	return s.res, nil
+}
+
+// errSeedStands reports that the seeded InitialBound could not be
+// improved; callers that seeded the search should keep their seed
+// solution.
+var errSeedStands = fmt.Errorf("core: exhaustive search found no solution better than the seed bound")
+
+// IsSeedStands reports whether err means the seeded bound was already
+// optimal.
+func IsSeedStands(err error) bool { return err == errSeedStands }
+
+type searcher struct {
+	g     *graph.Graph
+	c     Constraints
+	inner []graph.NodeID
+	pos   map[graph.NodeID]int
+	opts  ExhaustiveOptions
+
+	groups      []graph.NodeSet // current partial assignment
+	unassigned  int
+	best        int // incumbent cost (or sentinel n+1)
+	bestCovered int // incumbent coverage, for the equal-cost tie-break
+	bestParts   []graph.NodeSet
+	res         *Result
+}
+
+// search assigns inner[i] and recurses. groupsInUse is len(s.groups).
+func (s *searcher) search(i int, _ []graph.NodeSet, depth int) error {
+	s.res.NodesVisited++
+	if s.opts.Ctx != nil && s.res.NodesVisited%4096 == 0 {
+		select {
+		case <-s.opts.Ctx.Done():
+			return s.opts.Ctx.Err()
+		default:
+		}
+	}
+	cost := s.unassigned + len(s.groups)
+	if !s.opts.DisableBound && cost > s.best {
+		// Cannot beat the incumbent: cost only grows along a branch.
+		// Equal-cost branches stay alive for the coverage tie-break
+		// (the paper's optimum "covers the most blocks with the fewest
+		// partitions").
+		return nil
+	}
+	if i == len(s.inner) {
+		covered := 0
+		for _, grp := range s.groups {
+			covered += grp.Len()
+		}
+		better := cost < s.best || (cost == s.best && covered > s.bestCovered)
+		if !better {
+			return nil
+		}
+		// Leaf: all groups must be valid partitions.
+		for _, grp := range s.groups {
+			if grp.Len() < 2 || !Fits(s.g, grp, s.c) {
+				return nil
+			}
+		}
+		if s.c.RequireConvex {
+			ct, err := s.g.Contract(s.groups)
+			if err != nil || !ct.Acyclic() {
+				return nil
+			}
+		}
+		s.best = cost
+		s.bestCovered = covered
+		s.bestParts = make([]graph.NodeSet, len(s.groups))
+		for gi, grp := range s.groups {
+			s.bestParts[gi] = grp.Clone()
+		}
+		return nil
+	}
+	id := s.inner[i]
+
+	// Choice 1: leave the block unassigned (pre-defined block remains).
+	s.unassigned++
+	if err := s.search(i+1, nil, depth+1); err != nil {
+		return err
+	}
+	s.unassigned--
+
+	// Choice 2: join an existing group.
+	for gi := range s.groups {
+		s.groups[gi].Add(id)
+		if s.feasibleSoFar(gi, i) {
+			if err := s.search(i+1, nil, depth+1); err != nil {
+				return err
+			}
+		}
+		s.groups[gi].Remove(id)
+	}
+
+	// Choice 3: open one new group (symmetry pruning: empty groups are
+	// indistinguishable, so a single representative branch suffices).
+	s.groups = append(s.groups, graph.NewNodeSet(id))
+	if err := s.search(i+1, nil, depth+1); err != nil {
+		return err
+	}
+	s.groups = s.groups[:len(s.groups)-1]
+	return nil
+}
+
+// feasibleSoFar bounds group gi's eventual I/O demand from below using
+// only *permanent* connectivity: edges to/from primary inputs and
+// outputs, and edges to/from inner blocks already placed (index <= i)
+// outside the group, can never become internal, because placed blocks
+// never move. If even this floor exceeds the budget, no completion can
+// fix the group.
+func (s *searcher) feasibleSoFar(gi, i int) bool {
+	if s.opts.DisableBound {
+		return true
+	}
+	grp := s.groups[gi]
+	inPorts := map[graph.Port]bool{}
+	outPorts := map[graph.Port]bool{}
+	permanent := func(other graph.NodeID) bool {
+		if s.g.Role(other) != graph.RoleInner {
+			return true // sensors and outputs can never join a group
+		}
+		p, ok := s.pos[other]
+		return ok && p <= i // already placed outside the group
+	}
+	for id := range grp {
+		for _, e := range s.g.InEdges(id) {
+			if !grp.Has(e.From.Node) && permanent(e.From.Node) {
+				inPorts[e.From] = true
+			}
+		}
+		for _, e := range s.g.AllOutEdges(id) {
+			if !grp.Has(e.To.Node) && permanent(e.To.Node) {
+				outPorts[e.From] = true
+			}
+		}
+	}
+	return len(inPorts) <= s.c.MaxInputs && len(outPorts) <= s.c.MaxOutputs
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// The paper's stated further work (Section 6) is "to extend the
+// PareDown heuristic to consider multiple types of programmable blocks
+// (having different number of inputs and outputs) and varying compute
+// block costs". This file implements that extension.
+
+// BlockChoice is one programmable block type available to the
+// heterogeneous partitioner.
+type BlockChoice struct {
+	Name       string
+	MaxInputs  int
+	MaxOutputs int
+	// Cost in arbitrary units; the paper prices a programmable block
+	// above one pre-defined block but below two.
+	Cost float64
+}
+
+// HeteroProblem is the cost-aware multi-type partitioning problem.
+type HeteroProblem struct {
+	// Choices are the available programmable block types (at least
+	// one). Order does not matter.
+	Choices []BlockChoice
+	// PredefCost is the cost of keeping one pre-defined block
+	// (normally 1.0).
+	PredefCost float64
+	// RequireConvex as in Constraints.
+	RequireConvex bool
+}
+
+// Validate checks the problem statement.
+func (p *HeteroProblem) Validate() error {
+	if len(p.Choices) == 0 {
+		return fmt.Errorf("core: hetero problem needs at least one block choice")
+	}
+	for _, ch := range p.Choices {
+		if ch.MaxInputs < 1 || ch.MaxOutputs < 1 {
+			return fmt.Errorf("core: block choice %q has non-positive port budget", ch.Name)
+		}
+		if ch.Cost <= 0 {
+			return fmt.Errorf("core: block choice %q has non-positive cost", ch.Name)
+		}
+	}
+	if p.PredefCost <= 0 {
+		return fmt.Errorf("core: pre-defined block cost must be positive")
+	}
+	return nil
+}
+
+// HeteroAssignment maps one partition to the block type chosen for it.
+type HeteroAssignment struct {
+	Partition graph.NodeSet
+	Choice    BlockChoice
+}
+
+// HeteroResult is a heterogeneous partitioning outcome.
+type HeteroResult struct {
+	Assignments []HeteroAssignment
+	Uncovered   []graph.NodeID
+	FitChecks   int
+}
+
+// TotalCost returns the cost of the synthesized inner network:
+// the chosen programmable blocks plus the remaining pre-defined blocks.
+func (r *HeteroResult) TotalCost(predefCost float64) float64 {
+	total := float64(len(r.Uncovered)) * predefCost
+	for _, a := range r.Assignments {
+		total += a.Choice.Cost
+	}
+	return total
+}
+
+// PareDownHetero extends the decomposition heuristic to multiple block
+// types and costs. The candidate is pared against the *loosest* budget
+// (the union of the maximum input and output counts over all choices);
+// whenever the candidate fits at least one choice, the partition is
+// assigned the cheapest fitting choice, and it is accepted only if that
+// choice is actually cheaper than keeping the members as pre-defined
+// blocks (generalizing the paper's >= 2 members rule, which is the
+// special case cost(prog) < 2 * cost(predef)).
+func PareDownHetero(g *graph.Graph, p HeteroProblem, opts PareDownOptions) (*HeteroResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	loosest := Constraints{RequireConvex: p.RequireConvex}
+	for _, ch := range p.Choices {
+		if ch.MaxInputs > loosest.MaxInputs {
+			loosest.MaxInputs = ch.MaxInputs
+		}
+		if ch.MaxOutputs > loosest.MaxOutputs {
+			loosest.MaxOutputs = ch.MaxOutputs
+		}
+	}
+	res := &HeteroResult{}
+	blocks := graph.NewNodeSet(g.PartitionableNodes()...)
+	accepted := func() []graph.NodeSet {
+		out := make([]graph.NodeSet, len(res.Assignments))
+		for i, a := range res.Assignments {
+			out[i] = a.Partition
+		}
+		return out
+	}
+
+	for blocks.Len() > 0 {
+		candidate := blocks.Clone()
+		for candidate.Len() > 0 {
+			res.FitChecks++
+			choice, ok := cheapestFit(g, candidate, p)
+			if ok && pareAcyclicWith(g, Constraints{MaxInputs: loosest.MaxInputs, MaxOutputs: loosest.MaxOutputs, RequireConvex: p.RequireConvex}, accepted(), candidate) {
+				if choice.Cost < float64(candidate.Len())*p.PredefCost {
+					res.Assignments = append(res.Assignments, HeteroAssignment{
+						Partition: candidate.Clone(),
+						Choice:    choice,
+					})
+				}
+				for id := range candidate {
+					blocks.Remove(id)
+				}
+				break
+			}
+			if candidate.Len() == 1 {
+				// Unfittable singleton (see PareDown): drop it from the
+				// pool so the outer loop terminates.
+				for id := range candidate {
+					blocks.Remove(id)
+				}
+				break
+			}
+			removed, _ := pareStep(g, candidate, levels, opts.DisableTieBreaks)
+			candidate.Remove(removed.Node)
+		}
+	}
+	res.Uncovered = uncoveredFromHetero(g, res.Assignments)
+	return res, nil
+}
+
+// cheapestFit returns the cheapest block choice whose budget the
+// candidate satisfies; deterministic under cost ties (name order).
+func cheapestFit(g *graph.Graph, set graph.NodeSet, p HeteroProblem) (BlockChoice, bool) {
+	io := PartitionIO(g, set)
+	if p.RequireConvex && !g.IsConvex(set) {
+		return BlockChoice{}, false
+	}
+	fitting := make([]BlockChoice, 0, len(p.Choices))
+	for _, ch := range p.Choices {
+		if io.Inputs <= ch.MaxInputs && io.Outputs <= ch.MaxOutputs {
+			fitting = append(fitting, ch)
+		}
+	}
+	if len(fitting) == 0 {
+		return BlockChoice{}, false
+	}
+	sort.Slice(fitting, func(i, j int) bool {
+		if fitting[i].Cost != fitting[j].Cost {
+			return fitting[i].Cost < fitting[j].Cost
+		}
+		return fitting[i].Name < fitting[j].Name
+	})
+	return fitting[0], true
+}
+
+func uncoveredFromHetero(g *graph.Graph, assignments []HeteroAssignment) []graph.NodeID {
+	parts := make([]graph.NodeSet, len(assignments))
+	for i, a := range assignments {
+		parts[i] = a.Partition
+	}
+	return uncoveredFrom(g, parts)
+}
+
+// Validate checks the heterogeneous result against the problem.
+func (r *HeteroResult) Validate(g *graph.Graph, p HeteroProblem) error {
+	seen := graph.NewNodeSet()
+	for i, a := range r.Assignments {
+		if a.Partition.Len() == 0 {
+			return fmt.Errorf("core: hetero assignment %d is empty", i)
+		}
+		io := PartitionIO(g, a.Partition)
+		if io.Inputs > a.Choice.MaxInputs || io.Outputs > a.Choice.MaxOutputs {
+			return fmt.Errorf("core: hetero assignment %d exceeds %q budget: %+v", i, a.Choice.Name, io)
+		}
+		if a.Choice.Cost >= float64(a.Partition.Len())*p.PredefCost {
+			return fmt.Errorf("core: hetero assignment %d is not cost-effective", i)
+		}
+		for id := range a.Partition {
+			if g.Role(id) != graph.RoleInner {
+				return fmt.Errorf("core: hetero assignment %d contains non-inner node %q", i, g.Name(id))
+			}
+			if seen.Has(id) {
+				return fmt.Errorf("core: node %q in multiple hetero assignments", g.Name(id))
+			}
+			seen.Add(id)
+		}
+	}
+	for _, id := range r.Uncovered {
+		if seen.Has(id) {
+			return fmt.Errorf("core: node %q both covered and uncovered", g.Name(id))
+		}
+		seen.Add(id)
+	}
+	if want := len(g.InnerNodes()); seen.Len() != want {
+		return fmt.Errorf("core: hetero result accounts for %d of %d inner nodes", seen.Len(), want)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PareDownOptions tune the heuristic; the zero value reproduces the
+// paper exactly.
+type PareDownOptions struct {
+	// Trace, when non-nil, receives a step-by-step narration of the
+	// decomposition (used by the Figure 5 example and golden tests).
+	Trace func(ev TraceEvent)
+	// DisableTieBreaks replaces the paper's three tie-break criteria
+	// (greatest indegree, greatest outdegree, highest level) with plain
+	// lowest-node-ID ordering. Used by the ablation benchmark A1.
+	DisableTieBreaks bool
+}
+
+// TraceEvent is one step of the PareDown narration.
+type TraceEvent struct {
+	Kind      TraceKind
+	Candidate graph.NodeSet // state *before* the step applies
+	IO        IO            // candidate I/O at this step
+	Node      graph.NodeID  // removed node (KindRemove) or n/a
+	Rank      int           // rank of the removed node (KindRemove)
+	Border    []RankedNode  // border ranking considered (KindRemove)
+}
+
+// TraceKind enumerates narration steps.
+type TraceKind uint8
+
+const (
+	// KindCandidate announces a fresh candidate (all remaining blocks).
+	KindCandidate TraceKind = iota
+	// KindRemove reports the removal of the least-rank border block.
+	KindRemove
+	// KindAccept reports a fitting candidate with >= 2 members becoming
+	// a partition.
+	KindAccept
+	// KindRejectSingleton reports a fitting 1-member candidate being
+	// discarded (invalid by the >= 2 rule).
+	KindRejectSingleton
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case KindCandidate:
+		return "candidate"
+	case KindRemove:
+		return "remove"
+	case KindAccept:
+		return "accept"
+	case KindRejectSingleton:
+		return "reject-singleton"
+	default:
+		return fmt.Sprintf("tracekind(%d)", uint8(k))
+	}
+}
+
+// RankedNode is a border block with its computed rank and tie-break
+// keys, reported in trace events.
+type RankedNode struct {
+	Node      graph.NodeID
+	Rank      int
+	Indegree  int
+	Outdegree int
+	Level     int
+}
+
+// PareDown runs the decomposition heuristic of Figure 4 on the inner
+// nodes of g:
+//
+//	blocks <- list of inner blocks
+//	partitions <- empty list
+//	while blocks contains elements
+//	    partition <- blocks
+//	    while partition contains elements
+//	        if partition fits in a programmable block then
+//	            if partition contains more than one block: accept it
+//	            remove partition's elements from blocks
+//	            break
+//	        else
+//	            compute ranks for border blocks in partition
+//	            remove the border block with the least rank
+//
+// A block's rank is the net change in the candidate's combined input and
+// output demand if the block were removed; ties go to the block with the
+// greatest indegree, then greatest outdegree, then highest level.
+func PareDown(g *graph.Graph, c Constraints, opts PareDownOptions) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: "paredown"}
+	blocks := graph.NewNodeSet(g.PartitionableNodes()...)
+
+	for blocks.Len() > 0 {
+		candidate := blocks.Clone()
+		if opts.Trace != nil {
+			opts.Trace(TraceEvent{Kind: KindCandidate, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+		}
+		for candidate.Len() > 0 {
+			res.FitChecks++
+			if Fits(g, candidate, c) && pareAcyclicWith(g, c, res.Partitions, candidate) {
+				if candidate.Len() > 1 {
+					res.Partitions = append(res.Partitions, candidate.Clone())
+					if opts.Trace != nil {
+						opts.Trace(TraceEvent{Kind: KindAccept, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+					}
+				} else if opts.Trace != nil {
+					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+				}
+				for id := range candidate {
+					blocks.Remove(id)
+				}
+				break
+			}
+			if candidate.Len() == 1 {
+				// A lone block that does not fit even by itself (e.g. a
+				// 3-input gate against a 2x2 budget) can never be pared
+				// into a fitting candidate on this path; it stays a
+				// pre-defined block. This is the "partition contains
+				// zero blocks" corner of Figure 4 — without removing
+				// the block from the pool the outer loop would never
+				// terminate.
+				if opts.Trace != nil {
+					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+				}
+				for id := range candidate {
+					blocks.Remove(id)
+				}
+				break
+			}
+			removed, ranked := pareStep(g, candidate, levels, opts.DisableTieBreaks)
+			if opts.Trace != nil {
+				opts.Trace(TraceEvent{
+					Kind:      KindRemove,
+					Candidate: candidate.Clone(),
+					IO:        PartitionIO(g, candidate),
+					Node:      removed.Node,
+					Rank:      removed.Rank,
+					Border:    ranked,
+				})
+			}
+			candidate.Remove(removed.Node)
+		}
+	}
+	res.Uncovered = uncoveredFrom(g, res.Partitions)
+	return res, nil
+}
+
+// pareAcyclicWith guards the RequireConvex mode: accepting `candidate`
+// alongside the already-accepted partitions must leave the contracted
+// block graph acyclic (per-partition convexity alone does not guarantee
+// this). In paper mode (RequireConvex false) it always passes.
+func pareAcyclicWith(g *graph.Graph, c Constraints, accepted []graph.NodeSet, candidate graph.NodeSet) bool {
+	if !c.RequireConvex || candidate.Len() < 2 {
+		return true
+	}
+	all := append(append([]graph.NodeSet(nil), accepted...), candidate)
+	ct, err := g.Contract(all)
+	if err != nil {
+		return false
+	}
+	return ct.Acyclic()
+}
+
+// pareStep selects the border block to remove from an invalid
+// candidate. It returns the chosen node and the full ranked border list
+// (sorted by removal priority) for tracing.
+//
+// Ranks are computed incrementally: removing block b changes the
+// candidate's combined I/O by
+//
+//   - −1 for every external driver port all of whose edges into the
+//     candidate target b (the port stops being a partition input);
+//   - per output port of b: −1 if it fed outside (stops being a
+//     partition output) and +1 if it fed remaining members (becomes an
+//     external driver port);
+//   - +1 for every other member's output port that feeds b and feeds no
+//     non-member (it becomes a partition output).
+//
+// This matches PartitionIO(C\{b}) − PartitionIO(C) exactly (verified by
+// a property test) while costing O(deg(b)) per border block instead of
+// O(|C| + |E|), which is what keeps the 465-inner-node experiment of
+// Section 5.2 fast.
+func pareStep(g *graph.Graph, candidate graph.NodeSet, levels map[graph.NodeID]int, noTieBreaks bool) (RankedNode, []RankedNode) {
+	// Per-step port usage indexes, O(edges touching the candidate).
+	extIn := map[graph.Port]int{}  // external driver port -> edge count into candidate
+	outExt := map[graph.Port]int{} // member output port -> edge count leaving candidate
+	for id := range candidate {
+		for _, e := range g.InEdges(id) {
+			if !candidate.Has(e.From.Node) {
+				extIn[e.From]++
+			}
+		}
+		for _, e := range g.AllOutEdges(id) {
+			if !candidate.Has(e.To.Node) {
+				outExt[e.From]++
+			}
+		}
+	}
+	var border []RankedNode
+	for _, id := range candidate.Sorted() {
+		if g.Border(candidate, id) == graph.NotBorder {
+			continue
+		}
+		rank := 0
+		// External driver ports that fed only this block.
+		feeds := map[graph.Port]int{}
+		internalSrc := map[graph.Port]bool{}
+		for _, e := range g.InEdges(id) {
+			if candidate.Has(e.From.Node) {
+				internalSrc[e.From] = true
+			} else {
+				feeds[e.From]++
+			}
+		}
+		for p, cnt := range feeds {
+			if extIn[p] == cnt {
+				rank--
+			}
+		}
+		// This block's own output ports.
+		for pin := 0; pin < g.NumOut(id); pin++ {
+			intoC, ext := 0, 0
+			for _, e := range g.OutEdges(id, pin) {
+				if candidate.Has(e.To.Node) {
+					intoC++
+				} else {
+					ext++
+				}
+			}
+			if ext > 0 {
+				rank-- // stops being a partition output
+			}
+			if intoC > 0 {
+				rank++ // becomes an external driver port
+			}
+		}
+		// Member ports that fed this block and nothing outside.
+		for p := range internalSrc {
+			if outExt[p] == 0 {
+				rank++
+			}
+		}
+		border = append(border, RankedNode{
+			Node:      id,
+			Rank:      rank,
+			Indegree:  g.Indegree(id),
+			Outdegree: g.Outdegree(id),
+			Level:     levels[id],
+		})
+	}
+	if len(border) == 0 {
+		// Cannot happen for a well-formed DAG (a minimum-level member is
+		// always input-border), but keep a deterministic fallback: pare
+		// the highest-level member.
+		var fb RankedNode
+		fb.Node = graph.InvalidNode
+		for _, id := range candidate.Sorted() {
+			if fb.Node == graph.InvalidNode || levels[id] > fb.Level {
+				fb = RankedNode{Node: id, Level: levels[id], Indegree: g.Indegree(id), Outdegree: g.Outdegree(id)}
+			}
+		}
+		return fb, nil
+	}
+	sort.SliceStable(border, func(i, j int) bool {
+		a, b := border[i], border[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank // least rank removed first
+		}
+		if noTieBreaks {
+			return a.Node < b.Node
+		}
+		if a.Indegree != b.Indegree {
+			return a.Indegree > b.Indegree // greatest indegree
+		}
+		if a.Outdegree != b.Outdegree {
+			return a.Outdegree > b.Outdegree // greatest outdegree
+		}
+		if a.Level != b.Level {
+			return a.Level > b.Level // highest level
+		}
+		return a.Node < b.Node // final determinism
+	})
+	return border[0], border
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPareDownChain(t *testing.T) {
+	// A 4-chain collapses into one partition: the whole chain has 1
+	// input and 1 output.
+	g := chainDesign(4)
+	res, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, DefaultConstraints); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 1 || res.Partitions[0].Len() != 4 || res.Cost() != 1 {
+		t.Fatalf("result = %v", res)
+	}
+	// The very first fit check succeeds: 1 fit check total.
+	if res.FitChecks != 1 {
+		t.Fatalf("fit checks = %d, want 1", res.FitChecks)
+	}
+}
+
+func TestPareDownParallelGatesNoPartition(t *testing.T) {
+	// Three pairwise-infeasible gates: no partition exists; everything
+	// stays pre-defined (the Any Window Open Alarm shape from Table 1).
+	g := parallelGates(3)
+	res, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, DefaultConstraints); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 0 || len(res.Uncovered) != 3 || res.Cost() != 3 {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestPareDownWorstCaseQuadratic(t *testing.T) {
+	// The paper's worst case: n blocks that fit alone but can never
+	// combine force n*(n+1)/2 trips through the fit check.
+	for _, n := range []int{2, 5, 9} {
+		g := parallelGates(n)
+		res, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n * (n + 1) / 2; res.FitChecks != want {
+			t.Errorf("n=%d: fit checks = %d, want %d", n, res.FitChecks, want)
+		}
+	}
+}
+
+// convergent builds the shape where look-ahead pays: two sensors fan
+// into parallel chains that reconverge into one gate feeding one output.
+//
+//	s0 -> a0 -> a1 \
+//	                m -> o
+//	s1 -> b0 -> b1 /
+//
+// The whole inner set {a0,a1,b0,b1,m} has 2 inputs and 1 output: one
+// partition. Aggregation growing from a0 cannot see that adding b's
+// chain eventually helps, because intermediate clusters exceed budget.
+func convergent() *graph.Graph {
+	g := graph.New()
+	s0 := g.MustAddNode("s0", graph.RolePrimaryInput, 0, 1)
+	s1 := g.MustAddNode("s1", graph.RolePrimaryInput, 0, 1)
+	a0 := g.MustAddNode("a0", graph.RoleInner, 1, 1)
+	a1 := g.MustAddNode("a1", graph.RoleInner, 1, 1)
+	b0 := g.MustAddNode("b0", graph.RoleInner, 1, 1)
+	b1 := g.MustAddNode("b1", graph.RoleInner, 1, 1)
+	m := g.MustAddNode("m", graph.RoleInner, 2, 1)
+	o := g.MustAddNode("o", graph.RolePrimaryOutput, 1, 0)
+	g.MustConnect(s0, 0, a0, 0)
+	g.MustConnect(a0, 0, a1, 0)
+	g.MustConnect(s1, 0, b0, 0)
+	g.MustConnect(b0, 0, b1, 0)
+	g.MustConnect(a1, 0, m, 0)
+	g.MustConnect(b1, 0, m, 1)
+	g.MustConnect(m, 0, o, 0)
+	return g
+}
+
+func TestPareDownExploitsConvergence(t *testing.T) {
+	g := convergent()
+	res, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, DefaultConstraints); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 1 || res.Partitions[0].Len() != 5 {
+		t.Fatalf("PareDown should take the whole convergent cone: %v", res)
+	}
+}
+
+func TestPareDownTrace(t *testing.T) {
+	g := parallelGates(2)
+	var events []TraceEvent
+	res, err := PareDown(g, DefaultConstraints, PareDownOptions{
+		Trace: func(ev TraceEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost() != 2 {
+		t.Fatalf("cost = %d", res.Cost())
+	}
+	// Expected narration: candidate{g0,g1} -> remove -> reject-singleton,
+	// candidate{remaining} -> reject-singleton.
+	var kinds []TraceKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []TraceKind{KindCandidate, KindRemove, KindRejectSingleton, KindCandidate, KindRejectSingleton}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("trace kinds = %v, want %v", kinds, want)
+		}
+	}
+	// The remove event carries the border ranking.
+	if events[1].Node == graph.InvalidNode || len(events[1].Border) != 2 {
+		t.Fatalf("remove event = %+v", events[1])
+	}
+}
+
+func TestPareDownRankPrefersConvergencePreservingRemoval(t *testing.T) {
+	// In the convergent design plus one stray expensive gate, the stray
+	// gate is the border block whose removal reduces I/O most; PareDown
+	// must remove it first and keep the cone.
+	g := convergent()
+	s2 := g.MustAddNode("s2", graph.RolePrimaryInput, 0, 1)
+	s3 := g.MustAddNode("s3", graph.RolePrimaryInput, 0, 1)
+	x := g.MustAddNode("x", graph.RoleInner, 2, 1)
+	o2 := g.MustAddNode("o2", graph.RolePrimaryOutput, 1, 0)
+	g.MustConnect(s2, 0, x, 0)
+	g.MustConnect(s3, 0, x, 1)
+	g.MustConnect(x, 0, o2, 0)
+
+	var removed []graph.NodeID
+	res, err := PareDown(g, DefaultConstraints, PareDownOptions{
+		Trace: func(ev TraceEvent) {
+			if ev.Kind == KindRemove {
+				removed = append(removed, ev.Node)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) == 0 || removed[0] != x {
+		t.Fatalf("first removal = %v, want x", removed)
+	}
+	if len(res.Partitions) != 1 || res.Partitions[0].Len() != 5 {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestPareDownConvexMode(t *testing.T) {
+	g := convergent()
+	c := Constraints{MaxInputs: 2, MaxOutputs: 2, RequireConvex: true}
+	res, err := PareDown(g, c, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, c); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 1 {
+		t.Fatalf("convex mode lost the cone: %v", res)
+	}
+}
+
+// randomTestDAG builds a random eBlock-shaped DAG for property tests.
+func randomTestDAG(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	ns := 1 + rng.Intn(4)
+	sensors := make([]graph.NodeID, ns)
+	for i := range sensors {
+		sensors[i] = g.MustAddNode("s"+itoa(i), graph.RolePrimaryInput, 0, 1)
+	}
+	inner := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		nin := 1 + rng.Intn(2)
+		v := g.MustAddNode("v"+itoa(i), graph.RoleInner, nin, 1)
+		for pin := 0; pin < nin; pin++ {
+			if len(inner) == 0 || rng.Intn(3) == 0 {
+				g.MustConnect(sensors[rng.Intn(ns)], 0, v, pin)
+			} else {
+				g.MustConnect(inner[rng.Intn(len(inner))], 0, v, pin)
+			}
+		}
+		inner = append(inner, v)
+	}
+	// Every sink inner node feeds an output block so designs are
+	// well-formed.
+	oi := 0
+	for _, v := range inner {
+		if g.Outdegree(v) == 0 {
+			o := g.MustAddNode("out"+itoa(oi), graph.RolePrimaryOutput, 1, 0)
+			oi++
+			g.MustConnect(v, 0, o, 0)
+		}
+	}
+	return g
+}
+
+func TestPareDownAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		g := randomTestDAG(rng, 1+rng.Intn(20))
+		c := Constraints{MaxInputs: 1 + rng.Intn(3), MaxOutputs: 1 + rng.Intn(3)}
+		res, err := PareDown(g, c, PareDownOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Validate(g, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPareDownConvexModeAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		g := randomTestDAG(rng, 1+rng.Intn(16))
+		c := Constraints{MaxInputs: 2, MaxOutputs: 2, RequireConvex: true}
+		res, err := PareDown(g, c, PareDownOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Validate(g, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRankMatchesBruteForce(t *testing.T) {
+	// The O(deg) rank used by pareStep must equal the definitional
+	// brute force: PartitionIO(C\{b}).Total() - PartitionIO(C).Total().
+	rng := rand.New(rand.NewSource(71))
+	levelsOf := func(g *graph.Graph) map[graph.NodeID]int {
+		l, err := g.Levels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	f := func() bool {
+		g := randomTestDAG(rng, 2+rng.Intn(18))
+		inner := g.InnerNodes()
+		candidate := graph.NewNodeSet()
+		for _, id := range inner {
+			if rng.Intn(3) != 0 {
+				candidate.Add(id)
+			}
+		}
+		if candidate.Len() < 2 {
+			return true
+		}
+		_, ranked := pareStep(g, candidate, levelsOf(g), false)
+		base := PartitionIO(g, candidate).Total()
+		for _, rn := range ranked {
+			without := candidate.Clone()
+			without.Remove(rn.Node)
+			want := PartitionIO(g, without).Total() - base
+			if rn.Rank != want {
+				t.Logf("node %v: incremental %d, brute force %d (candidate %v)",
+					rn.Node, rn.Rank, want, candidate)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPareDownDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomTestDAG(rng, 15)
+	res1, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := PareDown(g, DefaultConstraints, PareDownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Partitions) != len(res2.Partitions) || res1.Cost() != res2.Cost() {
+		t.Fatal("PareDown nondeterministic")
+	}
+	for i := range res1.Partitions {
+		if !res1.Partitions[i].Equal(res2.Partitions[i]) {
+			t.Fatal("partition sets differ between runs")
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package graph
+
+import "fmt"
+
+// IsConvex reports whether the node set is convex in g: no directed path
+// between two members passes through a non-member. Equivalently, for
+// every member m, no node outside the set is simultaneously reachable
+// from some member and able to reach some member through a path that
+// touches m's frontier. We test the direct formulation: for each node x
+// outside the set, x must not have both a predecessor-path from the set
+// and a successor-path back into the set.
+//
+// Convexity matters because contracting a non-convex partition into a
+// single programmable block creates a cycle in the block-level graph.
+// The paper's fit check (Section 4) does not require convexity; the
+// partitioner exposes it as an optional constraint.
+func (g *Graph) IsConvex(set NodeSet) bool {
+	if set.Len() <= 1 {
+		return true
+	}
+	// downstream = nodes outside `set` reachable from `set`.
+	downstream := NewNodeSet()
+	var stack []NodeID
+	for id := range set {
+		for _, m := range g.Successors(id) {
+			if !set.Has(m) && !downstream.Has(m) {
+				downstream.Add(m)
+				stack = append(stack, m)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.Successors(n) {
+			if set.Has(m) {
+				// A path left the set (into `n`'s ancestry) and re-entered.
+				return false
+			}
+			if !downstream.Has(m) {
+				downstream.Add(m)
+				stack = append(stack, m)
+			}
+		}
+	}
+	return true
+}
+
+// BorderKind classifies why a node is a border node of a candidate
+// partition (Section 4.2 of the paper).
+type BorderKind uint8
+
+const (
+	// NotBorder means the node is interior to the candidate.
+	NotBorder BorderKind = iota
+	// InputBorder means every driven input of the node comes from
+	// outside the candidate.
+	InputBorder
+	// OutputBorder means every output edge of the node leaves the
+	// candidate (goes to a non-member).
+	OutputBorder
+	// BothBorder means the node satisfies both conditions.
+	BothBorder
+)
+
+// String names the border kind.
+func (k BorderKind) String() string {
+	switch k {
+	case NotBorder:
+		return "not-border"
+	case InputBorder:
+		return "input-border"
+	case OutputBorder:
+		return "output-border"
+	case BothBorder:
+		return "both-border"
+	default:
+		return fmt.Sprintf("borderkind(%d)", uint8(k))
+	}
+}
+
+// Border classifies node n with respect to candidate partition set. The
+// paper defines a border block as "a block in which every output or
+// every input connects to a block outside of the candidate partition".
+// A node with no driven inputs is trivially input-border; a node with no
+// outgoing edges is trivially output-border (vacuous universals), which
+// matches the decomposition method's need to always find a removable
+// block in a well-formed DAG.
+func (g *Graph) Border(set NodeSet, n NodeID) BorderKind {
+	allInOutside := true
+	for _, e := range g.InEdges(n) {
+		if set.Has(e.From.Node) {
+			allInOutside = false
+			break
+		}
+	}
+	allOutOutside := true
+	for _, e := range g.AllOutEdges(n) {
+		if set.Has(e.To.Node) {
+			allOutOutside = false
+			break
+		}
+	}
+	switch {
+	case allInOutside && allOutOutside:
+		return BothBorder
+	case allInOutside:
+		return InputBorder
+	case allOutOutside:
+		return OutputBorder
+	default:
+		return NotBorder
+	}
+}
+
+// Contract builds the block-level graph obtained by replacing each
+// partition (a set of inner nodes) with a single node, keeping all other
+// nodes. Edges internal to a partition disappear; edges crossing a
+// partition boundary are remapped to the contracted node, deduplicated
+// per (source entity, dest entity, source port) triple to model one
+// physical wire per used programmable-block port. Contract returns an
+// error if the partitions overlap or include non-inner nodes.
+//
+// The result is a plain directed graph represented as adjacency between
+// entity indices; it is used only for acyclicity checking of synthesized
+// systems, so it does not carry names or behaviors.
+func (g *Graph) Contract(partitions []NodeSet) (*Contracted, error) {
+	owner := make(map[NodeID]int) // node -> partition index
+	for pi, p := range partitions {
+		for id := range p {
+			if g.Role(id) != RoleInner {
+				return nil, fmt.Errorf("graph: contract: node %q is not an inner node", g.Name(id))
+			}
+			if prev, dup := owner[id]; dup {
+				return nil, fmt.Errorf("graph: contract: node %q in partitions %d and %d", g.Name(id), prev, pi)
+			}
+			owner[id] = pi
+		}
+	}
+	// Entity numbering: 0..len(partitions)-1 are partitions; remaining
+	// entities are unpartitioned nodes in ID order.
+	entityOf := func(n NodeID) int {
+		if pi, ok := owner[n]; ok {
+			return pi
+		}
+		return len(partitions) + int(n)
+	}
+	c := &Contracted{
+		NumPartitions: len(partitions),
+		NumEntities:   len(partitions) + g.NumNodes(),
+		adj:           make(map[int]map[int]bool),
+	}
+	for _, e := range g.Edges() {
+		a, b := entityOf(e.From.Node), entityOf(e.To.Node)
+		if a == b {
+			continue // internal to a partition
+		}
+		if c.adj[a] == nil {
+			c.adj[a] = make(map[int]bool)
+		}
+		c.adj[a][b] = true
+	}
+	return c, nil
+}
+
+// Contracted is the block-level graph produced by Contract.
+type Contracted struct {
+	NumPartitions int
+	NumEntities   int
+	adj           map[int]map[int]bool
+}
+
+// Acyclic reports whether the contracted graph has no directed cycle.
+func (c *Contracted) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(c.adj))
+	var visit func(n int) bool
+	visit = func(n int) bool {
+		color[n] = gray
+		for m := range c.adj[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for n := range c.adj {
+		if color[n] == white {
+			if !visit(n) {
+				return false
+			}
+		}
+	}
+	return true
+}

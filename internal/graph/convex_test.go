@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds s -> a -> {b, c} -> d -> o.
+func diamond(t *testing.T) (*Graph, [4]NodeID) {
+	t.Helper()
+	g := New()
+	s := g.MustAddNode("s", RolePrimaryInput, 0, 1)
+	a := g.MustAddNode("a", RoleInner, 1, 2)
+	b := g.MustAddNode("b", RoleInner, 1, 1)
+	c := g.MustAddNode("c", RoleInner, 1, 1)
+	d := g.MustAddNode("d", RoleInner, 2, 1)
+	o := g.MustAddNode("o", RolePrimaryOutput, 1, 0)
+	g.MustConnect(s, 0, a, 0)
+	g.MustConnect(a, 0, b, 0)
+	g.MustConnect(a, 1, c, 0)
+	g.MustConnect(b, 0, d, 0)
+	g.MustConnect(c, 0, d, 1)
+	g.MustConnect(d, 0, o, 0)
+	return g, [4]NodeID{a, b, c, d}
+}
+
+func TestIsConvex(t *testing.T) {
+	g, n := diamond(t)
+	a, b, c, d := n[0], n[1], n[2], n[3]
+	cases := []struct {
+		set  NodeSet
+		want bool
+	}{
+		{NewNodeSet(a, b, c, d), true},
+		{NewNodeSet(a, b), true},
+		{NewNodeSet(b, c), true},     // parallel, no path between them
+		{NewNodeSet(a, d), false},    // path a->b->d leaves the set
+		{NewNodeSet(a, b, d), false}, // path a->c->d leaves the set
+		{NewNodeSet(a), true},        // singletons trivially convex
+		{NewNodeSet(), true},         // empty trivially convex
+		{NewNodeSet(a, b, c), true},
+		{NewNodeSet(b, c, d), true},
+	}
+	for _, tc := range cases {
+		if got := g.IsConvex(tc.set); got != tc.want {
+			t.Errorf("IsConvex(%v) = %v, want %v", tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestBorderClassification(t *testing.T) {
+	g, n := diamond(t)
+	a, b, c, d := n[0], n[1], n[2], n[3]
+	all := NewNodeSet(a, b, c, d)
+	// Within the full inner set: a's input comes from the sensor
+	// (outside), so a is input-border; d's output goes to the output
+	// block, so d is output-border; b and c are interior.
+	if k := g.Border(all, a); k != InputBorder {
+		t.Errorf("border(a) = %v, want input-border", k)
+	}
+	if k := g.Border(all, d); k != OutputBorder {
+		t.Errorf("border(d) = %v, want output-border", k)
+	}
+	if k := g.Border(all, b); k != NotBorder {
+		t.Errorf("border(b) = %v, want not-border", k)
+	}
+	// In the pair {b, d}, b's input (from a) is external and its output
+	// (to d) is internal: input-border. d has an external input from c
+	// and an internal one from b, so not input-border; its only output
+	// leaves: output-border.
+	bd := NewNodeSet(b, d)
+	if k := g.Border(bd, b); k != InputBorder {
+		t.Errorf("border(b in {b,d}) = %v", k)
+	}
+	if k := g.Border(bd, d); k != OutputBorder {
+		t.Errorf("border(d in {b,d}) = %v", k)
+	}
+	// A lone node is both-border.
+	if k := g.Border(NewNodeSet(b), b); k != BothBorder {
+		t.Errorf("border(b in {b}) = %v, want both-border", k)
+	}
+}
+
+func TestBorderAlwaysExistsInNonEmptyCandidate(t *testing.T) {
+	// Property: every non-empty subset of inner nodes of a random DAG
+	// has at least one border node. This is what guarantees PareDown
+	// always makes progress.
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		g := randomDAG(rng, 2+rng.Intn(12))
+		inner := g.InnerNodes()
+		if len(inner) == 0 {
+			return true
+		}
+		set := NewNodeSet()
+		for _, id := range inner {
+			if rng.Intn(2) == 0 {
+				set.Add(id)
+			}
+		}
+		if set.Len() == 0 {
+			set.Add(inner[0])
+		}
+		for id := range set {
+			if g.Border(set, id) != NotBorder {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractDetectsCycle(t *testing.T) {
+	g, n := diamond(t)
+	a, b, c, d := n[0], n[1], n[2], n[3]
+	// {a, d} is non-convex; contracting it with b outside creates the
+	// cycle P0 -> b -> P0.
+	ct, err := g.Contract([]NodeSet{NewNodeSet(a, d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Acyclic() {
+		t.Fatal("contraction of non-convex partition reported acyclic")
+	}
+	// Convex partitions contract acyclically.
+	ct, err = g.Contract([]NodeSet{NewNodeSet(a, b), NewNodeSet(c, d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Acyclic() {
+		t.Fatal("contraction of convex partitions reported cyclic")
+	}
+}
+
+func TestContractRejectsBadPartitions(t *testing.T) {
+	g, n := diamond(t)
+	a, b := n[0], n[1]
+	if _, err := g.Contract([]NodeSet{NewNodeSet(a, b), NewNodeSet(b)}); err == nil {
+		t.Fatal("overlapping partitions accepted")
+	}
+	s := g.PrimaryInputs()[0]
+	if _, err := g.Contract([]NodeSet{NewNodeSet(a, s)}); err == nil {
+		t.Fatal("partition containing sensor accepted")
+	}
+}
+
+func TestConvexPartitionContractionAcyclicProperty(t *testing.T) {
+	// Property: contracting any single convex partition of a random DAG
+	// yields an acyclic block graph.
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		g := randomDAG(rng, 3+rng.Intn(10))
+		inner := g.InnerNodes()
+		if len(inner) < 2 {
+			return true
+		}
+		set := NewNodeSet()
+		for _, id := range inner {
+			if rng.Intn(2) == 0 {
+				set.Add(id)
+			}
+		}
+		if !g.IsConvex(set) {
+			return true // only convex sets are in scope
+		}
+		ct, err := g.Contract([]NodeSet{set})
+		if err != nil {
+			return false
+		}
+		return ct.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDAG builds a random layered DAG with n inner nodes plus sensors
+// and outputs, used by the property tests in this package.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New()
+	ns := 1 + rng.Intn(3)
+	sensors := make([]NodeID, ns)
+	for i := range sensors {
+		sensors[i] = g.MustAddNode("s"+string(rune('0'+i)), RolePrimaryInput, 0, 1)
+	}
+	inner := make([]NodeID, n)
+	for i := range inner {
+		nin := 1 + rng.Intn(2)
+		inner[i] = g.MustAddNode("v"+itoa(i), RoleInner, nin, 1)
+		for pin := 0; pin < nin; pin++ {
+			// Pick any earlier node (sensor or inner) as driver.
+			var from NodeID
+			if i == 0 || rng.Intn(3) == 0 {
+				from = sensors[rng.Intn(ns)]
+			} else {
+				from = inner[rng.Intn(i)]
+			}
+			g.MustConnect(from, 0, inner[i], pin)
+		}
+	}
+	o := g.MustAddNode("out", RolePrimaryOutput, 1, 0)
+	g.MustConnect(inner[n-1], 0, o, 0)
+	return g
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

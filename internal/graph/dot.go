@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Partitions, if given,
+// are drawn as clusters. Output is deterministic.
+func (g *Graph) DOT(title string, partitions []NodeSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	owner := map[NodeID]int{}
+	for pi, p := range partitions {
+		for id := range p {
+			owner[id] = pi
+		}
+	}
+	for pi, p := range partitions {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"P%d\";\n", pi, pi)
+		for _, id := range p.Sorted() {
+			fmt.Fprintf(&b, "    %s;\n", dotName(g, id))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, id := range g.NodeIDs() {
+		if _, inPart := owner[id]; inPart {
+			continue
+		}
+		shape := "box"
+		switch g.Role(id) {
+		case RolePrimaryInput:
+			shape = "invtriangle"
+		case RolePrimaryOutput:
+			shape = "triangle"
+		}
+		fmt.Fprintf(&b, "  %s [shape=%s];\n", dotName(g, id), shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%d:%d\"];\n",
+			dotName(g, e.From.Node), dotName(g, e.To.Node), e.From.Pin, e.To.Pin)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotName(g *Graph, id NodeID) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%s#%d", g.Name(id), id))
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeSet is a set of node IDs with deterministic iteration helpers.
+// The zero value is not usable; construct with NewNodeSet.
+type NodeSet map[NodeID]struct{}
+
+// NewNodeSet returns a set containing the given IDs.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	s := make(NodeSet, len(ids))
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id.
+func (s NodeSet) Add(id NodeID) { s[id] = struct{}{} }
+
+// Remove deletes id if present.
+func (s NodeSet) Remove(id NodeID) { delete(s, id) }
+
+// Has reports membership.
+func (s NodeSet) Has(id NodeID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s NodeSet) Len() int { return len(s) }
+
+// Clone returns an independent copy.
+func (s NodeSet) Clone() NodeSet {
+	c := make(NodeSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Sorted returns the members in ascending order.
+func (s NodeSet) Sorted() []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether s and t contain the same members.
+func (s NodeSet) Equal(t NodeSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for id := range s {
+		if !t.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share any member.
+func (s NodeSet) Intersects(t NodeSet) bool {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for id := range small {
+		if big.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set as "{n1 n4 n7}" using sorted IDs; useful in
+// tests and trace output.
+func (s NodeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Sorted() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "n%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "fmt"
+
+// TopoSort returns the node IDs in a topological order (every edge goes
+// from an earlier to a later position). Construction via Connect already
+// guarantees acyclicity, but TopoSort re-verifies and reports an error
+// if a cycle is somehow present (e.g. in a graph deserialized by a
+// future format change), so callers can rely on the invariant.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		indeg[i] = g.Indegree(NodeID(i))
+	}
+	// Kahn's algorithm with a FIFO seeded in ID order, so the result is
+	// deterministic for a given graph.
+	queue := make([]NodeID, 0, len(g.nodes))
+	for i := range g.nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range g.Successors(n) {
+			// Each distinct edge decrements once; Successors dedups, so
+			// count parallel edges explicitly.
+			dec := 0
+			for _, e := range g.InEdges(m) {
+				if e.From.Node == n {
+					dec++
+				}
+			}
+			indeg[m] -= dec
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// Levels computes the paper's level function: the level of a block is
+// the maximum distance (in edges) between the block and any primary
+// input reachable to it. Primary inputs have level 0. Nodes unreachable
+// from any primary input (legal while a design is under construction)
+// also get level 0, matching the code generator's treatment of
+// constant-driven subtrees.
+func (g *Graph) Levels() (map[NodeID]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	lvl := make(map[NodeID]int, len(g.nodes))
+	for _, n := range order {
+		best := 0
+		for _, e := range g.InEdges(n) {
+			if l := lvl[e.From.Node] + 1; l > best {
+				best = l
+			}
+		}
+		lvl[n] = best
+	}
+	return lvl, nil
+}
+
+// Depth returns the maximum level over all nodes (0 for an empty or
+// edge-free graph).
+func (g *Graph) Depth() (int, error) {
+	lvl, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, l := range lvl {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// ReachableFrom returns the set of nodes reachable from any node in
+// srcs, including the sources themselves.
+func (g *Graph) ReachableFrom(srcs []NodeID) NodeSet {
+	seen := NewNodeSet()
+	stack := append([]NodeID(nil), srcs...)
+	for _, s := range srcs {
+		seen.Add(s)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.Successors(n) {
+			if !seen.Has(m) {
+				seen.Add(m)
+				stack = append(stack, m)
+			}
+		}
+	}
+	return seen
+}

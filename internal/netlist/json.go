@@ -1,0 +1,57 @@
+package netlist
+
+import (
+	"encoding/json"
+
+	"repro/internal/behavior"
+)
+
+// jsonDesign is the JSON wire form of a design.
+type jsonDesign struct {
+	Name   string      `json:"name"`
+	Blocks []jsonBlock `json:"blocks"`
+	Wires  []jsonWire  `json:"wires"`
+}
+
+type jsonBlock struct {
+	Name    string           `json:"name"`
+	Type    string           `json:"type"`
+	Kind    string           `json:"kind"`
+	Params  map[string]int64 `json:"params,omitempty"`
+	Program string           `json:"program,omitempty"` // behavior source for overrides
+}
+
+type jsonWire struct {
+	From     string `json:"from"`
+	FromPort string `json:"fromPort"`
+	To       string `json:"to"`
+	ToPort   string `json:"toPort"`
+}
+
+// MarshalJSON renders the design for external tooling (the paper's GUI
+// would be one consumer). Deterministic field order within each block.
+func MarshalJSON(d *Design) ([]byte, error) {
+	jd := jsonDesign{Name: d.Name}
+	g := d.Graph()
+	for _, id := range g.NodeIDs() {
+		jb := jsonBlock{
+			Name:   g.Name(id),
+			Type:   d.Type(id).Name,
+			Kind:   d.Type(id).Kind.String(),
+			Params: d.Params(id),
+		}
+		if d.HasProgramOverride(id) {
+			jb.Program = behavior.Format(d.Program(id))
+		}
+		jd.Blocks = append(jd.Blocks, jb)
+	}
+	for _, e := range g.Edges() {
+		jd.Wires = append(jd.Wires, jsonWire{
+			From:     g.Name(e.From.Node),
+			FromPort: d.Type(e.From.Node).Outputs[e.From.Pin],
+			To:       g.Name(e.To.Node),
+			ToPort:   d.Type(e.To.Node).Inputs[e.To.Pin],
+		})
+	}
+	return json.MarshalIndent(jd, "", "  ")
+}

@@ -1,0 +1,203 @@
+// Package randgen implements the randomized eBlock system generator of
+// Section 5.1: the paper's Table 2 runs the partitioning algorithms
+// over thousands of generated designs with 3 to 45 inner blocks. The
+// generator emits structurally plausible eBlock networks: every inner
+// block is a catalog compute block, every input is driven either by a
+// sensor or by an earlier inner block (keeping the network a DAG), and
+// every sink drives an output block, so generated designs validate and
+// simulate.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/block"
+	"repro/internal/netlist"
+)
+
+// Params configure one generated design. The zero value of optional
+// fields selects the defaults noted below.
+type Params struct {
+	// InnerBlocks is the number of inner (compute) blocks (required,
+	// >= 1).
+	InnerBlocks int
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// SensorProb is the probability that an input pin connects to a
+	// (possibly new) sensor rather than an earlier inner block;
+	// default 0.35. Higher values make flatter designs.
+	SensorProb float64
+	// ThreeInputProb is the probability that a compute block has three
+	// inputs; default 0.12 (3-input blocks never fit a 2x2
+	// programmable block, mirroring the hard designs of Table 1).
+	ThreeInputProb float64
+	// SequentialProb is the probability of picking a sequential block
+	// where arity allows; default 0.3.
+	SequentialProb float64
+	// MaxSensors caps the sensor pool; default 1 + InnerBlocks/2.
+	MaxSensors int
+	// FanoutProb is the probability that an inner block's output also
+	// feeds a second consumer when wiring later blocks; fan-out arises
+	// naturally from reuse, this only biases it. Default 0.25.
+	FanoutProb float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.SensorProb == 0 {
+		p.SensorProb = 0.35
+	}
+	if p.ThreeInputProb == 0 {
+		p.ThreeInputProb = 0.12
+	}
+	if p.SequentialProb == 0 {
+		p.SequentialProb = 0.3
+	}
+	if p.MaxSensors == 0 {
+		p.MaxSensors = 1 + p.InnerBlocks/2
+	}
+	if p.FanoutProb == 0 {
+		p.FanoutProb = 0.25
+	}
+	return p
+}
+
+// one-input, two-input and three-input compute choices.
+var (
+	seq1  = []string{"Toggle", "Delay", "PulseGen", "Prolong", "OnceEvery"}
+	comb1 = []string{"Not"}
+	seq2  = []string{"Trip"}
+	comb2 = []string{"And2", "Or2", "Xor2", "Nand2", "Nor2", "TruthTable2"}
+	comb3 = []string{"And3", "Or3", "TruthTable3"}
+)
+
+// Generate builds one random design. It panics only on internal
+// invariant violations; parameter errors are returned.
+func Generate(p Params) (*netlist.Design, error) {
+	if p.InnerBlocks < 1 {
+		return nil, fmt.Errorf("randgen: InnerBlocks must be >= 1, got %d", p.InnerBlocks)
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	d := netlist.NewDesign(fmt.Sprintf("random_n%d_s%d", p.InnerBlocks, p.Seed), block.Standard())
+
+	sensorTypes := []string{"Button", "MotionSensor", "LightSensor", "ContactSwitch", "SoundSensor", "TiltSensor"}
+	outputTypes := []string{"LED", "Buzzer", "Relay"}
+
+	var sensors []string
+	newSensor := func() string {
+		name := fmt.Sprintf("s%d", len(sensors))
+		d.MustAddBlock(name, sensorTypes[rng.Intn(len(sensorTypes))])
+		sensors = append(sensors, name)
+		return name
+	}
+	newSensor() // at least one
+
+	type innerInfo struct {
+		name string
+		typ  *block.Type
+	}
+	var inner []innerInfo
+	used := map[string]bool{} // inner blocks that already drive someone
+
+	// driverFor picks a source for the next input pin.
+	driverFor := func(i int) (blockName, port string) {
+		if len(inner) == 0 || rng.Float64() < p.SensorProb {
+			// Prefer reusing an existing sensor unless the pool allows
+			// growth.
+			if len(sensors) < p.MaxSensors && rng.Float64() < 0.5 {
+				return newSensor(), "y"
+			}
+			return sensors[rng.Intn(len(sensors))], "y"
+		}
+		// Earlier inner block. Prefer unused ones (so most blocks get a
+		// consumer), with FanoutProb chance of reusing an already-used
+		// driver.
+		var pool []innerInfo
+		if rng.Float64() >= p.FanoutProb {
+			for _, ii := range inner {
+				if !used[ii.name] {
+					pool = append(pool, ii)
+				}
+			}
+		}
+		if len(pool) == 0 {
+			pool = inner
+		}
+		src := pool[rng.Intn(len(pool))]
+		used[src.name] = true
+		return src.name, src.typ.Outputs[0]
+	}
+
+	for i := 0; i < p.InnerBlocks; i++ {
+		var typeName string
+		switch {
+		case rng.Float64() < p.ThreeInputProb:
+			typeName = comb3[rng.Intn(len(comb3))]
+		case rng.Float64() < 0.55:
+			// two-input
+			if rng.Float64() < p.SequentialProb {
+				typeName = seq2[rng.Intn(len(seq2))]
+			} else {
+				typeName = comb2[rng.Intn(len(comb2))]
+			}
+		default:
+			// one-input
+			if rng.Float64() < p.SequentialProb {
+				typeName = seq1[rng.Intn(len(seq1))]
+			} else {
+				typeName = comb1[rng.Intn(len(comb1))]
+			}
+		}
+		name := fmt.Sprintf("v%d", i)
+		params := map[string]int64{}
+		switch typeName {
+		case "TruthTable2":
+			params["TT"] = rng.Int63n(16)
+		case "TruthTable3":
+			params["TT"] = rng.Int63n(256)
+		case "Delay":
+			params["DELAY"] = 100 * (1 + rng.Int63n(20))
+		case "PulseGen":
+			params["WIDTH"] = 100 * (1 + rng.Int63n(20))
+		case "Prolong":
+			params["HOLD"] = 100 * (1 + rng.Int63n(20))
+		case "OnceEvery":
+			params["PERIOD"] = 100 * (1 + rng.Int63n(20))
+		}
+		id := d.MustAddBlockWithParams(name, typeName, params)
+		t := d.Type(id)
+		for pin := 0; pin < t.NumIn(); pin++ {
+			src, port := driverFor(i)
+			d.MustConnect(src, port, name, t.Inputs[pin])
+		}
+		inner = append(inner, innerInfo{name: name, typ: t})
+	}
+
+	// Every sink inner block drives an output block; occasionally give
+	// non-sinks one too (observability, and realistic fan-out to
+	// outputs).
+	oi := 0
+	for _, ii := range inner {
+		if !used[ii.name] || rng.Float64() < 0.1 {
+			oname := fmt.Sprintf("o%d", oi)
+			oi++
+			d.MustAddBlock(oname, outputTypes[rng.Intn(len(outputTypes))])
+			d.MustConnect(ii.name, ii.typ.Outputs[0], oname, "a")
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: generated design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate that panics on error; the experiment harness
+// uses it with known-good parameters.
+func MustGenerate(p Params) *netlist.Design {
+	d, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/netlist"
+)
+
+// glitchDesign builds a classic hazard: a sensor drives an XOR both
+// directly and through an inverter chain of the given length, and the
+// XOR feeds a Trip latch. In packet mode the XOR emits a transient
+// pulse whose width is the chain's extra delay and the latch captures
+// it; in delta-cycle mode the XOR always sees settled inputs, so the
+// latch only reacts to real logic transitions.
+func glitchDesign(t testing.TB, chainLen int) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("glitch", block.Standard())
+	d.MustAddBlock("s", "Button")
+	d.MustAddBlock("clr", "Button")
+	prev := "s"
+	for i := 0; i < chainLen; i++ {
+		name := "inv" + string(rune('0'+i))
+		d.MustAddBlock(name, "Not")
+		d.MustConnect(prev, "y", name, "a")
+		prev = name
+	}
+	// With an even chain the two XOR inputs are logically equal, so
+	// xor == 0 in every settled state; any 1 on the latch is a glitch.
+	d.MustAddBlock("xor", "Xor2")
+	d.MustConnect("s", "y", "xor", "a")
+	d.MustConnect(prev, "y", "xor", "b")
+	d.MustAddBlock("latch", "Trip")
+	d.MustConnect("xor", "y", "latch", "trigger")
+	d.MustConnect("clr", "y", "latch", "reset")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("latch", "y", "led", "a")
+	return d
+}
+
+func TestPacketModeExhibitsHazard(t *testing.T) {
+	// Documented baseline: the asynchronous packet semantics DO let the
+	// latch capture the skew-induced transient (like physical eBlocks
+	// would).
+	s, err := New(glitchDesign(t, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "s", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.OutputValue("led")
+	if v != 1 {
+		t.Fatal("expected the packet-mode hazard to trip the latch")
+	}
+}
+
+func TestDeltaCyclesAreGlitchFree(t *testing.T) {
+	s, err := New(glitchDesign(t, 2), Config{DeltaCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "s", Value: 1},
+		Stimulus{Time: 200, Block: "s", Value: 0},
+		Stimulus{Time: 300, Block: "s", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.OutputValue("led")
+	if v != 0 {
+		t.Fatal("delta-cycle mode let a combinational glitch through")
+	}
+	if s.Trace().Len() != 0 {
+		t.Fatalf("led trace = %v, want empty", s.Trace().All())
+	}
+}
+
+func TestDeltaCyclesDepthIndependence(t *testing.T) {
+	// The settled trace must not depend on combinational depth: chains
+	// of length 2 and 6 behave identically under delta cycles.
+	run := func(chainLen int) string {
+		s, err := New(glitchDesign(t, chainLen), Config{DeltaCycles: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.Stimulate(
+			Stimulus{Time: 100, Block: "s", Value: 1},
+			Stimulus{Time: 250, Block: "s", Value: 0},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Trace().String()
+	}
+	if run(2) != run(6) {
+		t.Fatal("delta-cycle trace depends on combinational depth")
+	}
+}
+
+func TestDeltaCyclesFunctionalBehaviorPreserved(t *testing.T) {
+	// Sequential logic still works normally: a toggle chain driven by
+	// button presses.
+	d := netlist.NewDesign("tog", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlock("t1", "Toggle")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "t1", "a")
+	d.MustConnect("t1", "y", "led", "a")
+	s, err := New(d, Config{DeltaCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presses := []Stimulus{
+		{Time: 10, Block: "btn", Value: 1}, {Time: 20, Block: "btn", Value: 0},
+		{Time: 30, Block: "btn", Value: 1}, {Time: 40, Block: "btn", Value: 0},
+		{Time: 50, Block: "btn", Value: 1},
+	}
+	if err := s.Stimulate(presses...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	if len(changes) != 3 {
+		t.Fatalf("led trace = %v", changes)
+	}
+	// Instantaneous propagation: changes land at stimulus times.
+	if changes[0].Time != 10 || changes[1].Time != 30 || changes[2].Time != 50 {
+		t.Fatalf("delta timing = %v", changes)
+	}
+}
+
+func TestDeltaCyclesTimersStillFire(t *testing.T) {
+	d := netlist.NewDesign("pg", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlockWithParams("p", "PulseGen", map[string]int64{"WIDTH": 70})
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "p", "a")
+	d.MustConnect("p", "y", "led", "a")
+	s, err := New(d, Config{DeltaCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "btn", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	if len(changes) != 2 || changes[0].Time != 100 || changes[1].Time != 170 {
+		t.Fatalf("pulse trace = %v", changes)
+	}
+}

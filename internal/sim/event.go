@@ -1,0 +1,93 @@
+// Package sim implements the behavioral eBlock network simulator of
+// Section 3.1 of the paper. Blocks communicate by packets sent serially
+// over wires; communication is globally asynchronous and the simulator
+// is behaviorally correct while obeying only coarse, human-scale timing
+// (the paper notes detailed timing cannot be inferred, and does not need
+// to be). Time is in milliseconds.
+//
+// The simulator is change-driven: a block is (re)evaluated when a packet
+// arrives on one of its inputs or one of its timers fires; when an
+// evaluation changes an output value, a packet is scheduled to every
+// connected destination after the configured wire delay.
+package sim
+
+import "container/heap"
+
+// eventKind discriminates queue entries.
+type eventKind uint8
+
+const (
+	evPacket eventKind = iota
+	evTimer
+	evStimulus
+	// evEval is used only in delta-cycle mode: a coalesced evaluation
+	// of a block after all of its same-timestamp input packets have
+	// been applied.
+	evEval
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	time int64
+	// prio orders events within a timestamp. Packet mode uses 0 for
+	// everything (pure FIFO); delta-cycle mode uses the destination
+	// block's level, so producers always settle before consumers at
+	// the same timestamp.
+	prio int
+	seq  uint64 // final tie-break: FIFO
+
+	kind eventKind
+
+	// evPacket: value arriving at input pin `pin` of node `node`.
+	// evTimer: timer `tag` of node `node` fires.
+	// evStimulus: sensor `node` output pin 0 forced to `value`.
+	// evEval: coalesced evaluation of `node`.
+	node  int
+	pin   int
+	tag   int
+	value int64
+}
+
+// eventQueue is a min-heap on (time, prio, seq).
+type eventQueue struct {
+	items []event
+	next  uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// push enqueues an event, stamping its FIFO sequence number.
+func (q *eventQueue) push(e event) {
+	e.seq = q.next
+	q.next++
+	heap.Push(q, e)
+}
+
+// pop dequeues the earliest event; callers must check Len first.
+func (q *eventQueue) pop() event { return heap.Pop(q).(event) }
+
+// peekTime returns the timestamp of the earliest event.
+func (q *eventQueue) peekTime() int64 { return q.items[0].time }

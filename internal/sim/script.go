@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseScript reads a stimulus script, the text form the CLI simulator
+// consumes. One event per line:
+//
+//	# comments and blank lines are ignored
+//	at 100 set door 1
+//	at 900 set light 0
+//
+// Times are milliseconds; values are integers (sensors are normally
+// 0/1). Events may appear in any order; the simulator's queue orders
+// them by time.
+func ParseScript(src string) ([]Stimulus, error) {
+	var out []Stimulus
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 || f[0] != "at" || f[2] != "set" {
+			return nil, fmt.Errorf("sim: script line %d: want `at <ms> set <block> <value>`, got %q", ln+1, line)
+		}
+		t, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: script line %d: bad time %q: %v", ln+1, f[1], err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("sim: script line %d: negative time %d", ln+1, t)
+		}
+		v, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: script line %d: bad value %q: %v", ln+1, f[4], err)
+		}
+		out = append(out, Stimulus{Time: t, Block: f[3], Value: v})
+	}
+	return out, nil
+}
+
+// FormatScript renders stimuli in the script format (inverse of
+// ParseScript up to comments/whitespace).
+func FormatScript(stimuli []Stimulus) string {
+	var b strings.Builder
+	for _, st := range stimuli {
+		fmt.Fprintf(&b, "at %d set %s %d\n", st.Time, st.Block, st.Value)
+	}
+	return b.String()
+}

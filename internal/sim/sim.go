@@ -1,0 +1,498 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/behavior"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Config tunes the simulator.
+type Config struct {
+	// WireDelay is the packet propagation delay per wire in ms. The
+	// default (0 value) is 1 ms, modeling the serial packet protocol.
+	// Ignored in DeltaCycles mode (propagation is instantaneous).
+	WireDelay int64
+	// MaxEvents bounds the number of processed events per Run call as a
+	// runaway guard; 0 means the default of 1,000,000.
+	MaxEvents int
+	// TraceAll records changes on every block output; by default only
+	// primary outputs are traced.
+	TraceAll bool
+	// DeltaCycles selects the glitch-free reference semantics: wires
+	// propagate instantaneously and, within a timestamp, blocks
+	// evaluate in level order with all same-timestamp input changes
+	// applied at once (VHDL-style delta cycles). Combinational path
+	// skew therefore cannot produce transient pulses, which makes two
+	// structurally different but functionally equal networks — e.g. a
+	// design and its synthesized counterpart — produce identical
+	// traces. The default packet mode instead models the serial
+	// asynchronous protocol with per-wire delays.
+	DeltaCycles bool
+	// Compiled evaluates block behaviors on the bytecode VM instead of
+	// the tree-walking interpreter. Semantics are identical (enforced
+	// by property tests); large-network simulations run several times
+	// faster.
+	Compiled bool
+}
+
+func (c Config) wireDelay() int64 {
+	if c.WireDelay <= 0 {
+		return 1
+	}
+	return c.WireDelay
+}
+
+func (c Config) maxEvents() int {
+	if c.MaxEvents <= 0 {
+		return 1_000_000
+	}
+	return c.MaxEvents
+}
+
+// Stimulus forces a sensor's output to a value at a point in time.
+type Stimulus struct {
+	Time  int64
+	Block string
+	Value int64
+}
+
+// Simulator executes one design. Create with New, feed stimuli with
+// Stimulate (before or between Run calls), then Run.
+type Simulator struct {
+	design *netlist.Design
+	cfg    Config
+	queue  eventQueue
+	trace  Trace
+	now    int64
+	insts  []*instRT
+	levels map[graph.NodeID]int
+}
+
+// instRT is the runtime state of one block instance.
+type instRT struct {
+	id      graph.NodeID
+	name    string
+	prog    *behavior.Program // nil for sensors and primary outputs
+	inputs  []int64           // current value per input pin
+	prevIn  []int64           // per-pin value at previous evaluation
+	outputs []int64           // latched value per output pin
+	state   map[string]int64
+	params  map[string]int64
+	// fired holds the timer tags that triggered the current evaluation.
+	fired map[int]bool
+	// Delta-cycle bookkeeping: evalAt is the timestamp for which a
+	// coalesced evaluation event is queued (or -1); pendingFired
+	// accumulates timer tags to deliver with it.
+	evalAt       int64
+	pendingFired map[int]bool
+	// machine is the compiled evaluator (Config.Compiled); nil when
+	// interpreting.
+	machine *behavior.Machine
+	// env plumbing set during an evaluation
+	sim *Simulator
+}
+
+// New builds a simulator for the design. The design must validate.
+func New(d *netlist.Design, cfg Config) (*Simulator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{design: d, cfg: cfg}
+	g := d.Graph()
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.levels = levels
+	s.insts = make([]*instRT, g.NumNodes())
+	for _, id := range g.NodeIDs() {
+		rt := &instRT{
+			id:      id,
+			name:    g.Name(id),
+			inputs:  make([]int64, g.NumIn(id)),
+			prevIn:  make([]int64, g.NumIn(id)),
+			outputs: make([]int64, g.NumOut(id)),
+			state:   map[string]int64{},
+			params:  map[string]int64{},
+			fired:   map[int]bool{},
+			evalAt:  -1,
+			sim:     s,
+		}
+		if g.Role(id) == graph.RoleInner {
+			rt.prog = d.Program(id)
+			if rt.prog == nil {
+				return nil, fmt.Errorf("sim: inner block %q has no behavior program", rt.name)
+			}
+			for _, st := range rt.prog.States {
+				rt.state[st.Name] = st.Init
+			}
+			for _, pd := range rt.prog.Params {
+				if v, ok := d.Param(id, pd.Name); ok {
+					rt.params[pd.Name] = v
+				} else {
+					rt.params[pd.Name] = pd.Init
+				}
+			}
+			if cfg.Compiled {
+				compiled, err := behavior.Compile(rt.prog)
+				if err != nil {
+					return nil, fmt.Errorf("sim: compiling %q: %w", rt.name, err)
+				}
+				rt.machine = behavior.NewMachine(compiled)
+				for name, v := range rt.params {
+					rt.machine.SetParam(name, v)
+				}
+			}
+		}
+		s.insts[id] = rt
+	}
+	if err := s.settle(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// settle performs the power-up pass: every compute block is evaluated
+// once in topological order with its inputs pre-latched, so that no
+// spurious edges fire at startup and all wires carry consistent values
+// at t = 0.
+func (s *Simulator) settle() error {
+	g := s.design.Graph()
+	order, err := g.TopoSort()
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for _, id := range order {
+		rt := s.insts[id]
+		// Latch inputs from already-settled upstream outputs.
+		for pin := 0; pin < g.NumIn(id); pin++ {
+			if e := g.Driver(id, pin); e != nil {
+				v := s.insts[e.From.Node].outputs[e.From.Pin]
+				rt.inputs[pin] = v
+				rt.prevIn[pin] = v // suppress startup edges
+			}
+		}
+		switch {
+		case rt.machine != nil:
+			copy(rt.machine.In, rt.inputs)
+			copy(rt.machine.Prev, rt.inputs) // suppress startup edges
+			if err := rt.machine.Step((*settleEnv)(rt)); err != nil {
+				return fmt.Errorf("sim: settling %q: %w", rt.name, err)
+			}
+			copy(rt.outputs, rt.machine.Out)
+		case rt.prog != nil:
+			if err := behavior.Eval(rt.prog, (*settleEnv)(rt)); err != nil {
+				return fmt.Errorf("sim: settling %q: %w", rt.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Stimulate schedules sensor stimuli. It rejects stimuli in the past or
+// aimed at non-sensor blocks.
+func (s *Simulator) Stimulate(stims ...Stimulus) error {
+	g := s.design.Graph()
+	for _, st := range stims {
+		id := g.Lookup(st.Block)
+		if id == graph.InvalidNode {
+			return fmt.Errorf("sim: stimulus for unknown block %q", st.Block)
+		}
+		if g.Role(id) != graph.RolePrimaryInput {
+			return fmt.Errorf("sim: stimulus target %q is not a sensor", st.Block)
+		}
+		if st.Time < s.now {
+			return fmt.Errorf("sim: stimulus at %d ms is in the past (now %d ms)", st.Time, s.now)
+		}
+		s.queue.push(event{time: st.Time, kind: evStimulus, node: int(id), value: st.Value})
+	}
+	return nil
+}
+
+// Now returns the current simulation time in ms.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Trace returns the accumulated change trace.
+func (s *Simulator) Trace() *Trace { return &s.trace }
+
+// OutputValue returns the current value observed at a primary output
+// block (the value on its single input pin).
+func (s *Simulator) OutputValue(blockName string) (int64, error) {
+	g := s.design.Graph()
+	id := g.Lookup(blockName)
+	if id == graph.InvalidNode {
+		return 0, fmt.Errorf("sim: unknown block %q", blockName)
+	}
+	if g.Role(id) != graph.RolePrimaryOutput {
+		return 0, fmt.Errorf("sim: block %q is not an output block", blockName)
+	}
+	return s.insts[id].inputs[0], nil
+}
+
+// PortValue returns the current latched value of any block's output
+// port, for debugging and tests.
+func (s *Simulator) PortValue(blockName, port string) (int64, error) {
+	g := s.design.Graph()
+	id := g.Lookup(blockName)
+	if id == graph.InvalidNode {
+		return 0, fmt.Errorf("sim: unknown block %q", blockName)
+	}
+	pin := s.design.Type(id).OutputPin(port)
+	if pin < 0 {
+		return 0, fmt.Errorf("sim: block %q has no output port %q", blockName, port)
+	}
+	return s.insts[id].outputs[pin], nil
+}
+
+// Run processes events until the queue is exhausted or the next event
+// is later than `until` (exclusive); simulation time then advances to
+// `until`. Run may be called repeatedly with increasing horizons.
+func (s *Simulator) Run(until int64) error {
+	budget := s.cfg.maxEvents()
+	for s.queue.Len() > 0 && s.queue.peekTime() <= until {
+		if budget == 0 {
+			return fmt.Errorf("sim: event budget exhausted at t=%d ms (possible oscillation)", s.now)
+		}
+		budget--
+		ev := s.queue.pop()
+		s.now = ev.time
+		switch ev.kind {
+		case evStimulus:
+			s.applyStimulus(ev)
+		case evPacket:
+			if err := s.deliverPacket(ev); err != nil {
+				return err
+			}
+		case evTimer:
+			if err := s.fireTimer(ev); err != nil {
+				return err
+			}
+		case evEval:
+			rt := s.insts[ev.node]
+			fired := rt.pendingFired
+			rt.evalAt = -1
+			rt.pendingFired = nil
+			if err := s.evaluate(rt, fired); err != nil {
+				return err
+			}
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return nil
+}
+
+// RunToQuiescence processes all queued events regardless of horizon and
+// returns the time of the last processed event.
+func (s *Simulator) RunToQuiescence() (int64, error) {
+	for s.queue.Len() > 0 {
+		if err := s.Run(s.queue.peekTime()); err != nil {
+			return s.now, err
+		}
+	}
+	return s.now, nil
+}
+
+func (s *Simulator) applyStimulus(ev event) {
+	rt := s.insts[ev.node]
+	if rt.outputs[0] == ev.value {
+		return
+	}
+	rt.outputs[0] = ev.value
+	if s.cfg.TraceAll {
+		s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[0], Value: ev.value})
+	}
+	s.emitPackets(rt.id, 0, ev.value)
+}
+
+// emitPackets schedules delivery of a changed output value to every
+// connected destination. In delta-cycle mode propagation is
+// instantaneous and ordered by the destination's level; in packet mode
+// it takes one wire delay, FIFO within a timestamp.
+func (s *Simulator) emitPackets(from graph.NodeID, pin int, value int64) {
+	delay := s.cfg.wireDelay()
+	if s.cfg.DeltaCycles {
+		delay = 0
+	}
+	for _, e := range s.design.Graph().OutEdges(from, pin) {
+		s.queue.push(event{
+			time:  s.now + delay,
+			prio:  s.prio(e.To.Node),
+			kind:  evPacket,
+			node:  int(e.To.Node),
+			pin:   e.To.Pin,
+			value: value,
+		})
+	}
+}
+
+// prio returns the within-timestamp ordering key for events targeting a
+// node: 0 in packet mode, the node's level in delta-cycle mode.
+func (s *Simulator) prio(n graph.NodeID) int {
+	if !s.cfg.DeltaCycles {
+		return 0
+	}
+	return s.levels[n]
+}
+
+func (s *Simulator) deliverPacket(ev event) error {
+	rt := s.insts[ev.node]
+	rt.inputs[ev.pin] = ev.value
+	g := s.design.Graph()
+	if g.Role(rt.id) == graph.RolePrimaryOutput {
+		// Primary outputs just observe; trace on change.
+		if rt.prevIn[ev.pin] != ev.value {
+			s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Inputs[ev.pin], Value: ev.value})
+		}
+		rt.prevIn[ev.pin] = ev.value
+		return nil
+	}
+	if s.cfg.DeltaCycles {
+		// Coalesce: evaluate once after all same-timestamp packets for
+		// this block have been applied. Producers run at strictly lower
+		// priority (level), so every packet for this block at this
+		// timestamp is already queued before the eval event pops.
+		s.scheduleEval(rt, nil)
+		return nil
+	}
+	return s.evaluate(rt, nil)
+}
+
+func (s *Simulator) fireTimer(ev event) error {
+	rt := s.insts[ev.node]
+	if rt.prog == nil {
+		return fmt.Errorf("sim: timer fired on non-compute block %q", rt.name)
+	}
+	if s.cfg.DeltaCycles {
+		s.scheduleEval(rt, map[int]bool{ev.tag: true})
+		return nil
+	}
+	return s.evaluate(rt, map[int]bool{ev.tag: true})
+}
+
+// scheduleEval queues (or merges into) the coalesced evaluation of rt
+// at the current timestamp, accumulating fired timer tags.
+func (s *Simulator) scheduleEval(rt *instRT, fired map[int]bool) {
+	if rt.evalAt != s.now {
+		rt.evalAt = s.now
+		rt.pendingFired = map[int]bool{}
+		s.queue.push(event{
+			time: s.now,
+			prio: s.prio(rt.id),
+			kind: evEval,
+			node: int(rt.id),
+		})
+	}
+	for tag := range fired {
+		rt.pendingFired[tag] = true
+	}
+}
+
+// evaluate runs a compute block's behavior once, then propagates output
+// changes and updates the previous-input snapshot used by edge
+// detection.
+func (s *Simulator) evaluate(rt *instRT, fired map[int]bool) error {
+	if fired == nil {
+		fired = map[int]bool{}
+	}
+	rt.fired = fired
+	before := append([]int64(nil), rt.outputs...)
+	if rt.machine != nil {
+		copy(rt.machine.In, rt.inputs)
+		if err := rt.machine.Step((*runEnv)(rt)); err != nil {
+			return fmt.Errorf("sim: evaluating %q: %w", rt.name, err)
+		}
+		copy(rt.outputs, rt.machine.Out)
+	} else if err := behavior.Eval(rt.prog, (*runEnv)(rt)); err != nil {
+		return fmt.Errorf("sim: evaluating %q: %w", rt.name, err)
+	}
+	copy(rt.prevIn, rt.inputs)
+	for pin, v := range rt.outputs {
+		if v != before[pin] {
+			if s.cfg.TraceAll {
+				s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[pin], Value: v})
+			}
+			s.emitPackets(rt.id, pin, v)
+		}
+	}
+	return nil
+}
+
+// --- behavior.Env implementations -----------------------------------
+
+// runEnv adapts instRT to behavior.Env during normal evaluation.
+type runEnv instRT
+
+func (e *runEnv) pinOf(name string) int {
+	for i, n := range e.prog.Inputs {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *runEnv) outPinOf(name string) int {
+	for i, n := range e.prog.Outputs {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *runEnv) Input(name string) (int64, bool) {
+	if pin := e.pinOf(name); pin >= 0 {
+		return e.inputs[pin], true
+	}
+	return 0, false
+}
+
+func (e *runEnv) PrevInput(name string) (int64, bool) {
+	if pin := e.pinOf(name); pin >= 0 {
+		return e.prevIn[pin], true
+	}
+	return 0, false
+}
+
+func (e *runEnv) SetOutput(name string, v int64) {
+	if pin := e.outPinOf(name); pin >= 0 {
+		e.outputs[pin] = v
+	}
+}
+
+func (e *runEnv) State(name string) int64       { return e.state[name] }
+func (e *runEnv) SetState(name string, v int64) { e.state[name] = v }
+
+func (e *runEnv) Param(name string) (int64, bool) {
+	v, ok := e.params[name]
+	return v, ok
+}
+
+func (e *runEnv) Schedule(tag int, delay int64) {
+	if delay < 1 {
+		delay = 1
+	}
+	e.sim.queue.push(event{time: e.sim.now + delay, kind: evTimer, node: int(e.id), tag: tag})
+}
+
+func (e *runEnv) TimerFired(tag int) bool { return e.fired[tag] }
+func (e *runEnv) Now() int64              { return e.sim.now }
+
+// settleEnv is the power-up environment: identical to runEnv except
+// that timers requested during settling are scheduled relative to t=0
+// and no timer flags are set.
+type settleEnv instRT
+
+func (e *settleEnv) Input(name string) (int64, bool)     { return (*runEnv)(e).Input(name) }
+func (e *settleEnv) PrevInput(name string) (int64, bool) { return (*runEnv)(e).PrevInput(name) }
+func (e *settleEnv) SetOutput(name string, v int64)      { (*runEnv)(e).SetOutput(name, v) }
+func (e *settleEnv) State(name string) int64             { return e.state[name] }
+func (e *settleEnv) SetState(name string, v int64)       { e.state[name] = v }
+func (e *settleEnv) Param(name string) (int64, bool)     { return (*runEnv)(e).Param(name) }
+func (e *settleEnv) Schedule(tag int, delay int64)       { (*runEnv)(e).Schedule(tag, delay) }
+func (e *settleEnv) TimerFired(tag int) bool             { return false }
+func (e *settleEnv) Now() int64                          { return 0 }

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/netlist"
+)
+
+// garage builds the Figure 1 system: LED lights when the door contact
+// is closed AND it is dark.
+func garage(t testing.TB) *netlist.Design {
+	d := netlist.NewDesign("Garage", block.Standard())
+	d.MustAddBlock("door", "ContactSwitch")
+	d.MustAddBlock("light", "LightSensor")
+	d.MustAddBlock("dark", "Not")
+	d.MustAddBlock("both", "And2")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("door", "y", "both", "a")
+	d.MustConnect("light", "y", "dark", "a")
+	d.MustConnect("dark", "y", "both", "b")
+	d.MustConnect("both", "y", "led", "a")
+	return d
+}
+
+func TestCombinationalPropagation(t *testing.T) {
+	s, err := New(garage(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initially: door=0, light=0 => dark=1, both=0 => LED off.
+	if v, _ := s.OutputValue("led"); v != 0 {
+		t.Fatalf("initial led = %d", v)
+	}
+	if v, _ := s.PortValue("dark", "y"); v != 1 {
+		t.Fatalf("settled dark = %d", v)
+	}
+	// Door opens at night: LED on.
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.OutputValue("led"); v != 1 {
+		t.Fatalf("led after door open at night = %d", v)
+	}
+	// Sun rises: LED off.
+	if err := s.Stimulate(Stimulus{Time: 300, Block: "light", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.OutputValue("led"); v != 0 {
+		t.Fatalf("led after sunrise = %d", v)
+	}
+	// The trace saw both transitions of the LED.
+	changes := s.Trace().Of("led")
+	if len(changes) != 2 || changes[0].Value != 1 || changes[1].Value != 0 {
+		t.Fatalf("led trace = %v", changes)
+	}
+}
+
+func TestWireDelayTiming(t *testing.T) {
+	d := netlist.NewDesign("chainD", block.Standard())
+	d.MustAddBlock("s", "Button")
+	d.MustAddBlock("n1", "Not")
+	d.MustAddBlock("n2", "Not")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("s", "y", "n1", "a")
+	d.MustConnect("n1", "y", "n2", "a")
+	d.MustConnect("n2", "y", "led", "a")
+	s, err := New(d, Config{WireDelay: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "s", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	// s change at 100, n1 eval at 110, n2 at 120, led observes at 130.
+	changes := s.Trace().Of("led")
+	if len(changes) != 1 || changes[0].Time != 130 || changes[0].Value != 1 {
+		t.Fatalf("led trace = %v", changes)
+	}
+}
+
+func TestToggleBehavior(t *testing.T) {
+	d := netlist.NewDesign("toggle", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlock("tog", "Toggle")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "tog", "a")
+	d.MustConnect("tog", "y", "led", "a")
+	s, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	press := []Stimulus{
+		{Time: 100, Block: "btn", Value: 1},
+		{Time: 200, Block: "btn", Value: 0},
+		{Time: 300, Block: "btn", Value: 1},
+		{Time: 400, Block: "btn", Value: 0},
+		{Time: 500, Block: "btn", Value: 1},
+	}
+	if err := s.Stimulate(press...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	// Three presses: on, off, on.
+	if len(changes) != 3 {
+		t.Fatalf("led changes = %v", changes)
+	}
+	wantVals := []int64{1, 0, 1}
+	for i, c := range changes {
+		if c.Value != wantVals[i] {
+			t.Fatalf("change %d = %v, want value %d", i, c, wantVals[i])
+		}
+	}
+}
+
+func TestPulseGen(t *testing.T) {
+	d := netlist.NewDesign("pulse", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlockWithParams("pg", "PulseGen", map[string]int64{"WIDTH": 50})
+	d.MustAddBlock("buzz", "Buzzer")
+	d.MustConnect("btn", "y", "pg", "a")
+	d.MustConnect("pg", "y", "buzz", "a")
+	s, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "btn", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("buzz")
+	if len(changes) != 2 {
+		t.Fatalf("buzz trace = %v", changes)
+	}
+	if changes[0].Value != 1 || changes[1].Value != 0 {
+		t.Fatalf("buzz values = %v", changes)
+	}
+	if width := changes[1].Time - changes[0].Time; width != 50 {
+		t.Fatalf("pulse width = %d, want 50", width)
+	}
+}
+
+func TestDelayBlock(t *testing.T) {
+	d := netlist.NewDesign("delay", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlockWithParams("dl", "Delay", map[string]int64{"DELAY": 40})
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "dl", "a")
+	d.MustConnect("dl", "y", "led", "a")
+	s, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "btn", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	if len(changes) != 1 {
+		t.Fatalf("led trace = %v", changes)
+	}
+	// Stimulus at 100, delay block sees it at 101, fires timer at 141,
+	// led observes at 142.
+	if changes[0].Time != 142 {
+		t.Fatalf("delayed change at %d, want 142", changes[0].Time)
+	}
+}
+
+func TestTripLatch(t *testing.T) {
+	d := netlist.NewDesign("trip", block.Standard())
+	d.MustAddBlock("alarm", "MotionSensor")
+	d.MustAddBlock("clear", "Button")
+	d.MustAddBlock("latch", "Trip")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("alarm", "y", "latch", "trigger")
+	d.MustConnect("clear", "y", "latch", "reset")
+	d.MustConnect("latch", "y", "led", "a")
+	s, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stims := []Stimulus{
+		{Time: 100, Block: "alarm", Value: 1}, // trip
+		{Time: 150, Block: "alarm", Value: 0}, // motion stops; latch holds
+		{Time: 300, Block: "clear", Value: 1}, // reset
+		{Time: 350, Block: "clear", Value: 0},
+	}
+	if err := s.Stimulate(stims...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	if len(changes) != 2 || changes[0].Value != 1 || changes[1].Value != 0 {
+		t.Fatalf("led trace = %v", changes)
+	}
+	if changes[1].Time < 300 {
+		t.Fatalf("latch released early at %d", changes[1].Time)
+	}
+}
+
+func TestStimulusValidation(t *testing.T) {
+	s, err := New(garage(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 1, Block: "nope", Value: 1}); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if err := s.Stimulate(Stimulus{Time: 1, Block: "led", Value: 1}); err == nil {
+		t.Error("non-sensor target accepted")
+	}
+	if err := s.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err == nil {
+		t.Error("stimulus in the past accepted")
+	}
+}
+
+func TestInvalidDesignRejected(t *testing.T) {
+	d := netlist.NewDesign("bad", block.Standard())
+	d.MustAddBlock("s", "Button")
+	d.MustAddBlock("and", "And2")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("s", "y", "and", "a")
+	d.MustConnect("and", "y", "led", "a")
+	// and.b is undriven.
+	if _, err := New(d, Config{}); err == nil {
+		t.Fatal("undriven input accepted")
+	}
+}
+
+func TestRunHorizonAndNow(t *testing.T) {
+	s, err := New(garage(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 500, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("now = %d, want 100", s.Now())
+	}
+	if v, _ := s.OutputValue("led"); v != 0 {
+		t.Fatal("event beyond horizon processed")
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.OutputValue("led"); v != 1 {
+		t.Fatal("event within extended horizon not processed")
+	}
+}
+
+func TestTraceAllAndQueries(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace()
+	if tr.ValueAt("led", "a", 99) != 0 {
+		t.Error("ValueAt before change wrong")
+	}
+	if tr.ValueAt("led", "a", 1000) != 1 {
+		t.Error("ValueAt after change wrong")
+	}
+	blocks := tr.Blocks()
+	if len(blocks) < 3 { // door, both, led at least
+		t.Fatalf("traced blocks = %v", blocks)
+	}
+	if tr.String() == "" || tr.Len() == 0 {
+		t.Fatal("trace renders empty")
+	}
+}
+
+func TestSplitterFanout(t *testing.T) {
+	d := netlist.NewDesign("split", block.Standard())
+	d.MustAddBlock("s", "Button")
+	d.MustAddBlock("sp", "Splitter")
+	d.MustAddBlock("led1", "LED")
+	d.MustAddBlock("led2", "LED")
+	d.MustConnect("s", "y", "sp", "a")
+	d.MustConnect("sp", "y0", "led1", "a")
+	d.MustConnect("sp", "y1", "led2", "a")
+	s, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 10, Block: "s", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := s.OutputValue("led1")
+	v2, _ := s.OutputValue("led2")
+	if v1 != 1 || v2 != 1 {
+		t.Fatalf("splitter outputs = %d, %d", v1, v2)
+	}
+}

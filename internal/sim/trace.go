@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Change records one observed value change on a block's output port (or
+// on an output block's input, which is how primary outputs are traced).
+type Change struct {
+	Time  int64
+	Block string
+	Port  string
+	Value int64
+}
+
+// Trace accumulates observed changes in time order.
+type Trace struct {
+	changes []Change
+}
+
+// record appends a change; the simulator emits them in time order.
+func (tr *Trace) record(c Change) { tr.changes = append(tr.changes, c) }
+
+// All returns every recorded change in time order.
+func (tr *Trace) All() []Change { return append([]Change(nil), tr.changes...) }
+
+// Of returns the changes of one block (all ports), in time order.
+func (tr *Trace) Of(blockName string) []Change {
+	var out []Change
+	for _, c := range tr.changes {
+		if c.Block == blockName {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ValueAt returns the value of the block's port as of time t (the last
+// change at or before t), defaulting to 0.
+func (tr *Trace) ValueAt(blockName, port string, t int64) int64 {
+	var v int64
+	for _, c := range tr.changes {
+		if c.Time > t {
+			break
+		}
+		if c.Block == blockName && c.Port == port {
+			v = c.Value
+		}
+	}
+	return v
+}
+
+// Len returns the number of recorded changes.
+func (tr *Trace) Len() int { return len(tr.changes) }
+
+// String renders the trace as one line per change, for golden tests and
+// the CLI simulator.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	for _, c := range tr.changes {
+		fmt.Fprintf(&b, "%6d ms  %s.%s = %d\n", c.Time, c.Block, c.Port, c.Value)
+	}
+	return b.String()
+}
+
+// Blocks returns the sorted set of block names appearing in the trace.
+func (tr *Trace) Blocks() []string {
+	set := map[string]bool{}
+	for _, c := range tr.changes {
+		set[c.Block] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteVCD(&b, s.Trace(), "Garage"); err != nil {
+		t.Fatal(err)
+	}
+	vcd := b.String()
+	for _, want := range []string{
+		"$timescale 1ms $end",
+		"$scope module Garage $end",
+		"$var wire 1",
+		"$dumpvars",
+		"#100",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// Every declared identifier appears in the change section.
+	if !strings.Contains(vcd, "door.y") || !strings.Contains(vcd, "led.a") {
+		t.Errorf("VCD missing signals:\n%s", vcd)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty id at %d: %q", i, id)
+		}
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id %q outside VCD alphabet", id)
+			}
+		}
+		seen[id] = true
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitizeVCD("a b/c-d.e"); got != "a_b_c_d.e" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	src := `
+# warm-up
+at 100 set door 1
+
+at 900 set light 0
+`
+	stimuli, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stimuli) != 2 {
+		t.Fatalf("stimuli = %v", stimuli)
+	}
+	if stimuli[0] != (Stimulus{Time: 100, Block: "door", Value: 1}) {
+		t.Fatalf("first = %+v", stimuli[0])
+	}
+	// Round trip.
+	again, err := ParseScript(FormatScript(stimuli))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 || again[1] != stimuli[1] {
+		t.Fatal("script round trip failed")
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, src := range []string{
+		"at x set a 1",
+		"at 100 put a 1",
+		"at 100 set a",
+		"at -5 set a 1",
+		"at 100 set a z",
+		"set a 1",
+	} {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package synth ties the synthesis flow together (paper Section 3.2,
+// Figure 2): a captured design is partitioned (internal/core), each
+// partition's behavior trees are merged (internal/codegen), and a new
+// network is emitted in which every partition has been replaced by a
+// single programmable block running the merged program. The package
+// also provides a simulation-based equivalence check between the
+// original and the synthesized network.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Algorithm selects the partitioner.
+type Algorithm string
+
+const (
+	// PareDown is the paper's decomposition heuristic (the default).
+	PareDown Algorithm = "paredown"
+	// ExhaustiveSearch is the optimal search; practical to ~13 inner
+	// blocks.
+	ExhaustiveSearch Algorithm = "exhaustive"
+	// AggregationBaseline is the greedy clustering baseline.
+	AggregationBaseline Algorithm = "aggregation"
+)
+
+// Options configure the synthesizer.
+type Options struct {
+	// Constraints of the programmable block. Zero value means the
+	// paper's 2-input, 2-output block.
+	Constraints core.Constraints
+	// Algorithm defaults to PareDown.
+	Algorithm Algorithm
+	// PaperMode disables the convexity/acyclicity guard during
+	// partitioning, matching the paper's fit check exactly. If the
+	// resulting partitioning cannot be realized as an acyclic network,
+	// Synthesize returns ErrUnrealizable. Default (false) forces the
+	// guard so synthesis always succeeds.
+	PaperMode bool
+}
+
+func (o Options) constraints() core.Constraints {
+	c := o.Constraints
+	if c.MaxInputs == 0 && c.MaxOutputs == 0 {
+		c = core.DefaultConstraints
+	}
+	if !o.PaperMode {
+		c.RequireConvex = true
+	}
+	return c
+}
+
+// ErrUnrealizable reports a paper-mode partitioning whose contracted
+// block graph is cyclic and therefore cannot be wired.
+var ErrUnrealizable = fmt.Errorf("synth: partitioning is not realizable as an acyclic network (re-run without PaperMode)")
+
+// Output is the result of a synthesis run.
+type Output struct {
+	// Synthesized is the new design: sensors, output blocks, and
+	// uncovered compute blocks are carried over; each partition became
+	// one programmable block named p0, p1, ...
+	Synthesized *netlist.Design
+	// Result is the partitioning that was realized.
+	Result *core.Result
+	// Merged maps programmable block name to its merge artifact.
+	Merged map[string]*codegen.Merged
+	// CSource maps programmable block name to generated C firmware.
+	CSource map[string]string
+}
+
+// InnerBlocksAfter returns the paper's "Inner Blocks (Total)" metric
+// for the synthesized design.
+func (o *Output) InnerBlocksAfter() int { return o.Result.Cost() }
+
+// Synthesize partitions the design and builds the optimized network.
+func Synthesize(d *netlist.Design, opts Options) (*Output, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	c := opts.constraints()
+	g := d.Graph()
+
+	var res *core.Result
+	var err error
+	switch alg := opts.Algorithm; alg {
+	case "", PareDown:
+		res, err = core.PareDown(g, c, core.PareDownOptions{})
+	case ExhaustiveSearch:
+		res, err = core.Exhaustive(g, c, core.ExhaustiveOptions{})
+	case AggregationBaseline:
+		res, err = core.Aggregation(g, c)
+	default:
+		return nil, fmt.Errorf("synth: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Realize(d, res, c)
+}
+
+// Realize builds the synthesized network for an existing partitioning
+// result (allowing callers to bring their own partitioner).
+func Realize(d *netlist.Design, res *core.Result, c core.Constraints) (*Output, error) {
+	g := d.Graph()
+	if err := res.Validate(g, core.Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs}); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	ct, err := g.Contract(res.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if !ct.Acyclic() {
+		return nil, ErrUnrealizable
+	}
+
+	out := &Output{
+		Result:  res,
+		Merged:  map[string]*codegen.Merged{},
+		CSource: map[string]string{},
+	}
+
+	// New catalog view: ensure the programmable type exists.
+	reg := d.Registry()
+	progType := block.ProgrammableType(c.MaxInputs, c.MaxOutputs)
+	if reg.Lookup(progType.Name) == nil {
+		if err := reg.Register(progType); err != nil {
+			return nil, err
+		}
+	}
+
+	nd := netlist.NewDesign(d.Name+"_synth", reg)
+
+	// Ownership of each original node: partition index or -1.
+	owner := map[graph.NodeID]int{}
+	for pi, p := range res.Partitions {
+		for id := range p {
+			owner[id] = pi
+		}
+	}
+
+	// Carry over all non-partitioned blocks with their parameters (and
+	// program overrides, e.g. when re-synthesizing an already
+	// synthesized design).
+	for _, id := range g.NodeIDs() {
+		if _, inPart := owner[id]; inPart {
+			continue
+		}
+		name := g.Name(id)
+		nid, err := nd.AddBlockWithParams(name, d.Type(id).Name, d.Params(id))
+		if err != nil {
+			return nil, fmt.Errorf("synth: carrying block %q: %w", name, err)
+		}
+		if d.HasProgramOverride(id) {
+			if err := nd.SetProgram(nid, d.Program(id).Clone()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Create one programmable block per partition with its merged
+	// program.
+	merges := make([]*codegen.Merged, len(res.Partitions))
+	for pi, p := range res.Partitions {
+		m, err := codegen.MergePartition(d, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.PadPorts(c.MaxInputs, c.MaxOutputs); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("p%d", pi)
+		nid, err := nd.AddBlock(name, progType.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.SetProgram(nid, m.Program); err != nil {
+			return nil, err
+		}
+		merges[pi] = m
+		out.Merged[name] = m
+		out.CSource[name] = codegen.EmitC(m.Program, name)
+	}
+
+	// mapSource resolves an original output port to its new endpoint.
+	mapSource := func(p graph.Port) (blockName, portName string, err error) {
+		if pi, inPart := owner[p.Node]; inPart {
+			m := merges[pi]
+			for j, q := range m.OutputMap {
+				if q == p {
+					return fmt.Sprintf("p%d", pi), fmt.Sprintf("out%d", j), nil
+				}
+			}
+			return "", "", fmt.Errorf("synth: port %v of partition %d is not exported", p, pi)
+		}
+		return g.Name(p.Node), d.Type(p.Node).Outputs[p.Pin], nil
+	}
+
+	// Wire carried-over blocks' inputs.
+	for _, id := range g.NodeIDs() {
+		if _, inPart := owner[id]; inPart {
+			continue
+		}
+		for pin := 0; pin < g.NumIn(id); pin++ {
+			e := g.Driver(id, pin)
+			if e == nil {
+				continue
+			}
+			srcBlock, srcPort, err := mapSource(e.From)
+			if err != nil {
+				return nil, err
+			}
+			if err := nd.Connect(srcBlock, srcPort, g.Name(id), d.Type(id).Inputs[pin]); err != nil {
+				return nil, fmt.Errorf("synth: wiring %s: %w", g.Name(id), err)
+			}
+		}
+	}
+	// Wire programmable blocks' inputs per their input maps.
+	for pi, m := range merges {
+		for k, src := range m.InputMap {
+			srcBlock, srcPort, err := mapSource(src)
+			if err != nil {
+				return nil, err
+			}
+			if err := nd.Connect(srcBlock, srcPort, fmt.Sprintf("p%d", pi), fmt.Sprintf("in%d", k)); err != nil {
+				return nil, fmt.Errorf("synth: wiring p%d: %w", pi, err)
+			}
+		}
+	}
+
+	if err := nd.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: synthesized design invalid: %w", err)
+	}
+	out.Synthesized = nd
+	return out, nil
+}

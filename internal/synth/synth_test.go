@@ -1,0 +1,268 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// garage builds the Figure 1 system with two inner blocks.
+func garage(t testing.TB) *netlist.Design {
+	d := netlist.NewDesign("Garage", block.Standard())
+	d.MustAddBlock("door", "ContactSwitch")
+	d.MustAddBlock("light", "LightSensor")
+	d.MustAddBlock("dark", "Not")
+	d.MustAddBlock("both", "And2")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("door", "y", "both", "a")
+	d.MustConnect("light", "y", "dark", "a")
+	d.MustConnect("dark", "y", "both", "b")
+	d.MustConnect("both", "y", "led", "a")
+	return d
+}
+
+func TestSynthesizeGarage(t *testing.T) {
+	d := garage(t)
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two inner blocks collapse into one programmable block.
+	if out.InnerBlocksAfter() != 1 {
+		t.Fatalf("inner blocks after = %d, want 1", out.InnerBlocksAfter())
+	}
+	st := out.Synthesized.Stats()
+	if st.Inner != 1 || st.Programmable != 1 {
+		t.Fatalf("synthesized stats = %+v", st)
+	}
+	if err := out.Synthesized.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CSource) != 1 {
+		t.Fatalf("C sources = %d", len(out.CSource))
+	}
+	if !strings.Contains(out.CSource["p0"], "p0_step") {
+		t.Fatal("C source missing step function")
+	}
+}
+
+func TestSynthesizedGarageBehaviorMatches(t *testing.T) {
+	d := garage(t)
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Steps: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("behavioral mismatches: %v", mismatches)
+	}
+}
+
+func TestSynthesizeWithSequentialBlocks(t *testing.T) {
+	d := netlist.NewDesign("seq", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlock("tog", "Toggle")
+	d.MustAddBlock("inv", "Not")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "tog", "a")
+	d.MustConnect("tog", "y", "inv", "a")
+	d.MustConnect("inv", "y", "led", "a")
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InnerBlocksAfter() != 1 {
+		t.Fatalf("inner after = %d", out.InnerBlocksAfter())
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Steps: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches: %v", mismatches)
+	}
+}
+
+func TestSynthesizeWithTimers(t *testing.T) {
+	// Pulse generator + gate in one partition: timers must survive the
+	// merge. Pulse width chosen large relative to wire delays.
+	d := netlist.NewDesign("timer", block.Standard())
+	d.MustAddBlock("btn", "Button")
+	d.MustAddBlockWithParams("pg", "PulseGen", map[string]int64{"WIDTH": 400})
+	d.MustAddBlock("inv", "Not")
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("btn", "y", "pg", "a")
+	d.MustConnect("pg", "y", "inv", "a")
+	d.MustConnect("inv", "y", "led", "a")
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InnerBlocksAfter() != 1 {
+		t.Fatalf("inner after = %d", out.InnerBlocksAfter())
+	}
+	// Deterministic stimuli spaced far beyond the pulse width.
+	stimuli := []sim.Stimulus{
+		{Time: 1000, Block: "btn", Value: 1},
+		{Time: 2000, Block: "btn", Value: 0},
+		{Time: 3000, Block: "btn", Value: 1},
+		{Time: 4000, Block: "btn", Value: 0},
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Stimuli: stimuli})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches: %v", mismatches)
+	}
+}
+
+func TestSynthesizeMultiPartition(t *testing.T) {
+	// Two independent 2-chains. Together they need only 2 inputs and 2
+	// outputs, so PareDown legally folds all four blocks into ONE
+	// programmable block (a disconnected partition is still one
+	// program).
+	d := netlist.NewDesign("multi", block.Standard())
+	d.MustAddBlock("s0", "Button")
+	d.MustAddBlock("s1", "Button")
+	d.MustAddBlock("a0", "Not")
+	d.MustAddBlock("a1", "Not")
+	d.MustAddBlock("b0", "Not")
+	d.MustAddBlock("b1", "Not")
+	d.MustAddBlock("o0", "LED")
+	d.MustAddBlock("o1", "LED")
+	d.MustConnect("s0", "y", "a0", "a")
+	d.MustConnect("a0", "y", "a1", "a")
+	d.MustConnect("a1", "y", "o0", "a")
+	d.MustConnect("s1", "y", "b0", "a")
+	d.MustConnect("b0", "y", "b1", "a")
+	d.MustConnect("b1", "y", "o1", "a")
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InnerBlocksAfter() != 1 || len(out.Merged) != 1 {
+		t.Fatalf("result = %v merged=%d", out.Result, len(out.Merged))
+	}
+	if m := out.Merged["p0"]; m.NumIn() != 2 || m.NumOut() != 2 {
+		t.Fatalf("merged ports = %dx%d, want 2x2", m.NumIn(), m.NumOut())
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Steps: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches: %v", mismatches)
+	}
+}
+
+func TestSynthesizeAlgorithmsAgreeOnGarage(t *testing.T) {
+	for _, alg := range []Algorithm{PareDown, ExhaustiveSearch, AggregationBaseline} {
+		d := garage(t)
+		out, err := Synthesize(d, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if out.InnerBlocksAfter() != 1 {
+			t.Errorf("%s: inner after = %d", alg, out.InnerBlocksAfter())
+		}
+	}
+	if _, err := Synthesize(garage(t), Options{Algorithm: "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSynthesizedDesignSerializesAndReloads(t *testing.T) {
+	d := garage(t)
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := netlist.Serialize(out.Synthesized)
+	reloaded, err := netlist.Parse(text, block.Standard())
+	if err != nil {
+		t.Fatalf("reload failed: %v\n%s", err, text)
+	}
+	// The reloaded synthesized design still behaves like the original.
+	mismatches, err := Verify(d, reloaded, VerifyOptions{Steps: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches after reload: %v", mismatches)
+	}
+}
+
+func TestUncoveredBlocksCarriedOver(t *testing.T) {
+	// Three parallel gates: nothing can merge, so the synthesized
+	// design equals the original modulo naming.
+	d := netlist.NewDesign("par", block.Standard())
+	for _, idx := range []string{"0", "1", "2"} {
+		d.MustAddBlock("sa"+idx, "Button")
+		d.MustAddBlock("sb"+idx, "Button")
+		d.MustAddBlock("g"+idx, "And2")
+		d.MustAddBlock("o"+idx, "LED")
+		d.MustConnect("sa"+idx, "y", "g"+idx, "a")
+		d.MustConnect("sb"+idx, "y", "g"+idx, "b")
+		d.MustConnect("g"+idx, "y", "o"+idx, "a")
+	}
+	out, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InnerBlocksAfter() != 3 || len(out.Merged) != 0 {
+		t.Fatalf("result = %v", out.Result)
+	}
+	st := out.Synthesized.Stats()
+	if st.Inner != 3 || st.Programmable != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mismatches, err := Verify(d, out.Synthesized, VerifyOptions{Steps: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("mismatches: %v", mismatches)
+	}
+}
+
+func TestRealizeRejectsBadResult(t *testing.T) {
+	d := garage(t)
+	g := d.Graph()
+	bad := &core.Result{Partitions: nil, Uncovered: nil} // accounts for nothing
+	if len(g.InnerNodes()) > 0 {
+		if _, err := Realize(d, bad, core.DefaultConstraints); err == nil {
+			t.Fatal("incomplete result accepted")
+		}
+	}
+}
+
+func TestVerifyDetectsRealDivergence(t *testing.T) {
+	// Sanity: Verify is not a rubber stamp. Compare the garage design
+	// against a variant whose AND was replaced by OR.
+	d := garage(t)
+	d2 := netlist.NewDesign("Garage2", block.Standard())
+	d2.MustAddBlock("door", "ContactSwitch")
+	d2.MustAddBlock("light", "LightSensor")
+	d2.MustAddBlock("dark", "Not")
+	d2.MustAddBlock("both", "Or2")
+	d2.MustAddBlock("led", "LED")
+	d2.MustConnect("door", "y", "both", "a")
+	d2.MustConnect("light", "y", "dark", "a")
+	d2.MustConnect("dark", "y", "both", "b")
+	d2.MustConnect("both", "y", "led", "a")
+	mismatches, err := Verify(d, d2, VerifyOptions{Steps: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("verify failed to distinguish AND from OR")
+	}
+}
