@@ -17,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -33,6 +35,9 @@ func main() {
 		hetero     = flag.Bool("hetero", false, "run A3 (heterogeneous programmable blocks)")
 		sweep      = flag.Bool("sweep", false, "sweep programmable block port budgets (A4)")
 		seed       = flag.Int64("seed", 1, "seed for generated workloads")
+		algo       = flag.String("algo", "paredown",
+			"heuristic compared against exhaustive search in tables and sweeps: "+strings.Join(core.Algorithms(), " | "))
+		workers = flag.Int("workers", 0, "worker pool width for tables and sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -44,6 +49,8 @@ func main() {
 		rows, err := bench.RunTable1(bench.Table1Options{
 			ExhaustiveLimit:   *exhLimit,
 			ExhaustiveTimeout: *exhTimeout,
+			Algorithm:         *algo,
+			Workers:           *workers,
 		})
 		if err != nil {
 			fatal(err)
@@ -56,6 +63,8 @@ func main() {
 			ExhaustiveLimit:   *exhLimit,
 			ExhaustiveTimeout: *exhTimeout,
 			Seed:              *seed,
+			Algorithm:         *algo,
+			Workers:           *workers,
 		})
 		if err != nil {
 			fatal(err)
@@ -101,7 +110,7 @@ func main() {
 	}
 	if *sweep {
 		ran = true
-		rows, err := bench.RunSweep(bench.SweepOptions{Seed: *seed})
+		rows, err := bench.RunSweep(bench.SweepOptions{Seed: *seed, Algorithm: *algo, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

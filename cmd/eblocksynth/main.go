@@ -7,13 +7,14 @@
 // Usage:
 //
 //	eblocksynth -design garage.ebk -o synth.ebk -c firmware.c
-//	eblocksynth -library "Podium Timer 3" -algorithm exhaustive -verify
+//	eblocksynth -library "Podium Timer 3" -algo exhaustive -verify
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -21,10 +22,11 @@ import (
 )
 
 func main() {
+	algoHelp := "partitioner: " + strings.Join(core.Algorithms(), " | ")
 	var (
 		designPath = flag.String("design", "", "path to a .ebk design file")
 		library    = flag.String("library", "", "name of a built-in Table 1 design")
-		algorithm  = flag.String("algorithm", "paredown", "partitioner: paredown | exhaustive | aggregation")
+		algorithm  = flag.String("algo", "paredown", algoHelp)
 		maxIn      = flag.Int("inputs", 2, "programmable block input budget")
 		maxOut     = flag.Int("outputs", 2, "programmable block output budget")
 		outPath    = flag.String("o", "", "write the synthesized design (.ebk) here (default stdout)")
@@ -34,6 +36,7 @@ func main() {
 		dot        = flag.Bool("dot", false, "print the partitioned design in Graphviz dot")
 		parts      = flag.Bool("partitions", false, "print the partition membership summary")
 	)
+	flag.StringVar(algorithm, "algorithm", "paredown", algoHelp+" (alias of -algo)")
 	flag.Parse()
 
 	d, err := cli.LoadDesign(*designPath, *library)

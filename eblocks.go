@@ -101,6 +101,30 @@ type ExhaustiveOptions = core.ExhaustiveOptions
 // block.
 var DefaultConstraints = core.DefaultConstraints
 
+// PartitionOptions bundles the per-algorithm knobs accepted by
+// Partition; the zero value runs every algorithm with its defaults.
+type PartitionOptions = core.Options
+
+// Partitioner is the interface a pluggable partitioning algorithm
+// implements; register implementations with RegisterAlgorithm.
+type Partitioner = core.Partitioner
+
+// Partition runs the named partitioning algorithm from the registry
+// ("paredown", "exhaustive", "aggregation", "hetero", or any name
+// added via RegisterAlgorithm) over the design's inner blocks.
+func Partition(d *Design, algo string, c Constraints, opts PartitionOptions) (*PartitionResult, error) {
+	return core.Partition(d.Graph(), algo, c, opts)
+}
+
+// Algorithms lists the registered partitioning algorithm names in
+// sorted order.
+func Algorithms() []string { return core.Algorithms() }
+
+// RegisterAlgorithm adds a partitioning algorithm to the registry,
+// making it available to Partition, Synthesize, and the bench
+// harnesses. Duplicate names are rejected.
+func RegisterAlgorithm(p Partitioner) error { return core.Register(p) }
+
 // PareDown runs the paper's decomposition heuristic (Section 4.2,
 // Figure 4) over the design's inner blocks.
 func PareDown(d *Design, c Constraints, opts PareDownOptions) (*PartitionResult, error) {

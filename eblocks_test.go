@@ -72,6 +72,29 @@ func TestFacadePartitioners(t *testing.T) {
 	}
 }
 
+func TestFacadeAlgorithmRegistry(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) < 4 {
+		t.Fatalf("algorithms = %v, want at least the 4 built-ins", algos)
+	}
+	d := garageDesign()
+	for _, algo := range algos {
+		res, err := Partition(d, algo, DefaultConstraints, PartitionOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := res.Validate(d.Graph(), DefaultConstraints); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Cost() != 1 {
+			t.Errorf("%s: cost = %d, want 1 on the garage design", algo, res.Cost())
+		}
+	}
+	if _, err := Partition(d, "not-an-algorithm", DefaultConstraints, PartitionOptions{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
 func TestFacadeTextFormats(t *testing.T) {
 	d := garageDesign()
 	text := SerializeDesign(d)

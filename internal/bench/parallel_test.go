@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTable2ParallelMatchesSerial pins the pooled harness to the
+// sequential one: identical rows (ignoring wall-clock fields) for any
+// worker count.
+func TestTable2ParallelMatchesSerial(t *testing.T) {
+	opts := Table2Options{
+		Scale:             0.002,
+		Sizes:             []int{3, 6, 10, 15},
+		ExhaustiveLimit:   10,
+		ExhaustiveTimeout: 20 * time.Second,
+		Seed:              3,
+	}
+	opts.Workers = 1
+	serial, err := RunTable2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		opts.Workers = workers
+		par, err := RunTable2(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d rows, serial %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			a, b := par[i], serial[i]
+			a.PDTime, a.ExhTime, b.PDTime, b.ExhTime = 0, 0, 0, 0
+			if a != b {
+				t.Errorf("workers=%d row %d: %+v != serial %+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestTable1ParallelMatchesSerial does the same for the library table.
+func TestTable1ParallelMatchesSerial(t *testing.T) {
+	serial, err := RunTable1(Table1Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTable1(Table1Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("%d rows, serial %d", len(par), len(serial))
+	}
+	for i := range par {
+		a, b := par[i], serial[i]
+		a.PDTime, a.ExhTime, b.PDTime, b.ExhTime = 0, 0, 0, 0
+		if a != b {
+			t.Errorf("row %d: %+v != serial %+v", i, a, b)
+		}
+	}
+}
+
+// TestTable1Algorithm swaps the heuristic column through the registry.
+func TestTable1Algorithm(t *testing.T) {
+	rows, err := RunTable1(Table1Options{Algorithm: "aggregation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PDTotal > r.Inner {
+			t.Errorf("%s: aggregation increased inner blocks", r.Design)
+		}
+	}
+	if _, err := RunTable1(Table1Options{Algorithm: "no-such"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var sum atomic.Int64
+	if err := parallelFor(100, 7, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	// First error by index order, deterministically.
+	wantErr := errors.New("boom")
+	err := parallelFor(50, 4, func(i int) error {
+		if i == 13 || i == 31 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := parallelFor(0, 4, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

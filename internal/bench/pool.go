@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for i in [0, n) across a bounded worker pool
+// and returns the first error (by index order, so error reporting is
+// deterministic). Once any item fails, workers stop picking up new
+// items — in-flight items finish, mirroring the fast-fail of a
+// sequential loop. Harness rows are written into index-addressed
+// slices by fn, keeping output ordering deterministic regardless of
+// scheduling.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heuristicAlgo resolves a harness's Algorithm option: empty means the
+// paper's PareDown.
+func heuristicAlgo(name string) string {
+	if name == "" {
+		return "paredown"
+	}
+	return name
+}

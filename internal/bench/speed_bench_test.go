@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// benchTable2Opts is a miniature Table 2 sweep heavy enough to expose
+// the harness's parallel speedup: every design runs PareDown, and
+// sizes up to 12 also run the exhaustive search.
+func benchTable2Opts(workers int) Table2Options {
+	return Table2Options{
+		Scale:             0.004,
+		Sizes:             []int{8, 10, 12, 20},
+		ExhaustiveLimit:   12,
+		ExhaustiveTimeout: 30 * time.Second,
+		Seed:              7,
+		Workers:           workers,
+	}
+}
+
+// BenchmarkTable2Harness measures the end-to-end Table 2 regeneration:
+// the sequential harness vs the bounded worker pool.
+func BenchmarkTable2Harness(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunTable2(benchTable2Opts(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunTable2(benchTable2Opts(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1Harness measures the end-to-end Table 1 regeneration
+// over the 15-design library.
+func BenchmarkTable1Harness(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTable1(Table1Options{Workers: mode.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

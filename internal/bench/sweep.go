@@ -38,7 +38,15 @@ type SweepOptions struct {
 	RandomSizes    []int
 	DesignsPerSize int
 	Seed           int64
+	// Algorithm names the heuristic to sweep (any core registry
+	// name); default "paredown".
+	Algorithm string
+	// Workers bounds the pool running block shapes concurrently; 0
+	// means GOMAXPROCS. Row order is deterministic either way.
+	Workers int
 }
+
+func (o SweepOptions) algorithm() string { return heuristicAlgo(o.Algorithm) }
 
 func (o SweepOptions) shapes() [][2]int {
 	if len(o.Shapes) > 0 {
@@ -76,28 +84,34 @@ func RunSweep(opts SweepOptions) ([]SweepRow, error) {
 		}
 	}
 
-	var rows []SweepRow
-	for _, shape := range opts.shapes() {
+	shapes := opts.shapes()
+	rows := make([]SweepRow, len(shapes))
+	err := parallelFor(len(shapes), opts.Workers, func(i int) error {
+		shape := shapes[i]
 		c := core.Constraints{MaxInputs: shape[0], MaxOutputs: shape[1]}
 		row := SweepRow{MaxInputs: shape[0], MaxOutputs: shape[1]}
 		for _, e := range designs.Library() {
 			d := e.Build()
-			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			res, err := core.Partition(d.Graph(), opts.algorithm(), c, core.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("bench: sweep %dx%d %s: %w", shape[0], shape[1], e.Name, err)
+				return fmt.Errorf("bench: sweep %dx%d %s: %w", shape[0], shape[1], e.Name, err)
 			}
 			row.LibraryTotal += res.Cost()
 		}
 		for _, p := range population {
 			d := randgen.MustGenerate(p)
 			row.RandomBefore += p.InnerBlocks
-			res, err := core.PareDown(d.Graph(), c, core.PareDownOptions{})
+			res, err := core.Partition(d.Graph(), opts.algorithm(), c, core.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("bench: sweep %dx%d random: %w", shape[0], shape[1], err)
+				return fmt.Errorf("bench: sweep %dx%d random: %w", shape[0], shape[1], err)
 			}
 			row.RandomTotal += res.Cost()
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -28,6 +28,14 @@ type Table1Options struct {
 	// ExhaustiveTimeout aborts a single exhaustive run; expired runs
 	// report no data. Default 2 minutes.
 	ExhaustiveTimeout time.Duration
+	// Algorithm names the heuristic compared against the exhaustive
+	// search (any core registry name); default "paredown", the paper's
+	// setup. The heuristic fills the PD* columns.
+	Algorithm string
+	// Workers bounds the pool running designs concurrently; 0 means
+	// GOMAXPROCS, 1 forces the sequential harness. Row order is
+	// deterministic either way.
+	Workers int
 }
 
 func (o Table1Options) constraints() core.Constraints {
@@ -50,6 +58,8 @@ func (o Table1Options) timeout() time.Duration {
 	}
 	return o.ExhaustiveTimeout
 }
+
+func (o Table1Options) algorithm() string { return heuristicAlgo(o.Algorithm) }
 
 // Table1Row is one design's measurements, mirroring the paper's
 // columns.
@@ -79,10 +89,14 @@ type Table1Row struct {
 }
 
 // RunTable1 reproduces Table 1 over the reconstructed design library.
+// Designs run concurrently over a bounded worker pool; rows come back
+// in library order regardless of scheduling.
 func RunTable1(opts Table1Options) ([]Table1Row, error) {
 	c := opts.constraints()
-	var rows []Table1Row
-	for _, e := range designs.Library() {
+	lib := designs.Library()
+	rows := make([]Table1Row, len(lib))
+	err := parallelFor(len(lib), opts.Workers, func(i int) error {
+		e := lib[i]
 		d := e.Build()
 		g := d.Graph()
 		row := Table1Row{
@@ -96,9 +110,9 @@ func RunTable1(opts Table1Options) ([]Table1Row, error) {
 		}
 
 		start := time.Now()
-		pd, err := core.PareDown(g, c, core.PareDownOptions{})
+		pd, err := core.Partition(g, opts.algorithm(), c, core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", e.Name, err)
+			return fmt.Errorf("bench: %s: %w", e.Name, err)
 		}
 		row.PDTime = time.Since(start)
 		row.PDTotal = pd.Cost()
@@ -107,7 +121,10 @@ func RunTable1(opts Table1Options) ([]Table1Row, error) {
 		if len(g.PartitionableNodes()) <= opts.limit() {
 			ctx, cancel := context.WithTimeout(context.Background(), opts.timeout())
 			start = time.Now()
-			ex, err := core.Exhaustive(g, c, core.ExhaustiveOptions{Ctx: ctx})
+			// Each exhaustive search runs sequentially so the per-row
+			// ExhTime column mirrors the paper's single-threaded
+			// methodology; the harness parallelizes across rows.
+			ex, err := core.Exhaustive(g, c, core.ExhaustiveOptions{Ctx: ctx, Workers: 1})
 			elapsed := time.Since(start)
 			cancel()
 			if err == nil {
@@ -120,10 +137,14 @@ func RunTable1(opts Table1Options) ([]Table1Row, error) {
 					row.OverheadPct = 100 * float64(row.BlockOverhead) / float64(row.ExhTotal)
 				}
 			} else if err != context.DeadlineExceeded {
-				return nil, fmt.Errorf("bench: %s: exhaustive: %w", e.Name, err)
+				return fmt.Errorf("bench: %s: exhaustive: %w", e.Name, err)
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

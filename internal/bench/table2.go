@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +40,13 @@ type Table2Options struct {
 	ExhaustiveTimeout time.Duration
 	// Seed offsets the generator seeds, keeping sweeps reproducible.
 	Seed int64
+	// Algorithm names the heuristic compared against the exhaustive
+	// search (any core registry name); default "paredown".
+	Algorithm string
+	// Workers bounds the pool running (size, design) work items
+	// concurrently; 0 means GOMAXPROCS, 1 forces the sequential
+	// harness. Row order and averages are deterministic either way.
+	Workers int
 }
 
 func (o Table2Options) constraints() core.Constraints {
@@ -76,6 +84,8 @@ func (o Table2Options) timeout() time.Duration {
 	return o.ExhaustiveTimeout
 }
 
+func (o Table2Options) algorithm() string { return heuristicAlgo(o.Algorithm) }
+
 // Table2Row aggregates one inner-block size, mirroring Table 2's
 // columns (averages over the size's designs).
 type Table2Row struct {
@@ -95,12 +105,34 @@ type Table2Row struct {
 	OverheadPct   float64
 }
 
+// table2Cell is the measurement of one generated design.
+type table2Cell struct {
+	pdCost, pdProg int
+	pdTime         time.Duration
+	exDone         bool
+	exTimeout      bool
+	exCost, exProg int
+	exTime         time.Duration
+}
+
 // RunTable2 reproduces Table 2: for each size, generate designs, run
-// both algorithms, and average the outcomes.
+// both algorithms, and average the outcomes. All (size, design) work
+// items run concurrently over a bounded worker pool; per-design
+// results are collected into an index-addressed grid and aggregated in
+// order, so rows and averages are deterministic regardless of
+// scheduling. A size on which any exhaustive run times out reports no
+// exhaustive data (once a size trips its timeout flag, remaining
+// designs of that size skip the search).
 func RunTable2(opts Table2Options) ([]Table2Row, error) {
 	c := opts.constraints()
-	var rows []Table2Row
-	for _, size := range opts.sizes() {
+	sizes := opts.sizes()
+
+	counts := make([]int, len(sizes))
+	cells := make([][]table2Cell, len(sizes))
+	timedOut := make([]atomic.Bool, len(sizes))
+	type item struct{ si, di int }
+	var items []item
+	for si, size := range sizes {
 		count := paperTable2Counts[size]
 		if count == 0 {
 			count = 100
@@ -109,41 +141,78 @@ func RunTable2(opts Table2Options) ([]Table2Row, error) {
 		if count < 1 {
 			count = 1
 		}
+		counts[si] = count
+		cells[si] = make([]table2Cell, count)
+		for di := 0; di < count; di++ {
+			items = append(items, item{si, di})
+		}
+	}
+
+	err := parallelFor(len(items), opts.Workers, func(k int) error {
+		si, di := items[k].si, items[k].di
+		size := sizes[si]
+		cell := &cells[si][di]
+		d := randgen.MustGenerate(randgen.Params{
+			InnerBlocks: size,
+			Seed:        opts.Seed + int64(size)*100003 + int64(di),
+		})
+		g := d.Graph()
+
+		start := time.Now()
+		pd, err := core.Partition(g, opts.algorithm(), c, core.Options{})
+		if err != nil {
+			return fmt.Errorf("bench: table2 size %d design %d: %w", size, di, err)
+		}
+		cell.pdTime = time.Since(start)
+		cell.pdCost = pd.Cost()
+		cell.pdProg = len(pd.Partitions)
+
+		if size <= opts.limit() && !timedOut[si].Load() {
+			ctx, cancel := context.WithTimeout(context.Background(), opts.timeout())
+			start = time.Now()
+			// Sequential search per design: ExhTime mirrors the paper's
+			// single-threaded methodology; parallelism lives at the
+			// work-item level.
+			ex, err := core.Exhaustive(g, c, core.ExhaustiveOptions{Ctx: ctx, Workers: 1})
+			cell.exTime = time.Since(start)
+			cancel()
+			if err == context.DeadlineExceeded {
+				cell.exTimeout = true
+				timedOut[si].Store(true)
+			} else if err != nil {
+				return fmt.Errorf("bench: table2 exhaustive size %d design %d: %w", size, di, err)
+			} else {
+				cell.exDone = true
+				cell.exCost = ex.Cost()
+				cell.exProg = len(ex.Partitions)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table2Row, 0, len(sizes))
+	for si, size := range sizes {
+		count := counts[si]
 		row := Table2Row{Inner: size, NumDesigns: count}
 		var pdTotal, pdProg, exTotal, exProg float64
 		var pdElapsed, exElapsed time.Duration
+		// Exhaustive data is reported only if every design of the size
+		// finished within the timeout.
 		exOK := size <= opts.limit()
-
-		for i := 0; i < count; i++ {
-			d := randgen.MustGenerate(randgen.Params{
-				InnerBlocks: size,
-				Seed:        opts.Seed + int64(size)*100003 + int64(i),
-			})
-			g := d.Graph()
-
-			start := time.Now()
-			pd, err := core.PareDown(g, c, core.PareDownOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("bench: table2 size %d design %d: %w", size, i, err)
-			}
-			pdElapsed += time.Since(start)
-			pdTotal += float64(pd.Cost())
-			pdProg += float64(len(pd.Partitions))
-
-			if exOK {
-				ctx, cancel := context.WithTimeout(context.Background(), opts.timeout())
-				start = time.Now()
-				ex, err := core.Exhaustive(g, c, core.ExhaustiveOptions{Ctx: ctx})
-				exElapsed += time.Since(start)
-				cancel()
-				if err == context.DeadlineExceeded {
-					exOK = false
-				} else if err != nil {
-					return nil, fmt.Errorf("bench: table2 exhaustive size %d design %d: %w", size, i, err)
-				} else {
-					exTotal += float64(ex.Cost())
-					exProg += float64(len(ex.Partitions))
-				}
+		for di := 0; di < count; di++ {
+			cell := &cells[si][di]
+			pdElapsed += cell.pdTime
+			pdTotal += float64(cell.pdCost)
+			pdProg += float64(cell.pdProg)
+			if cell.exDone {
+				exElapsed += cell.exTime
+				exTotal += float64(cell.exCost)
+				exProg += float64(cell.exProg)
+			} else {
+				exOK = false
 			}
 		}
 		n := float64(count)

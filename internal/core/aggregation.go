@@ -25,6 +25,8 @@ func Aggregation(g *graph.Graph, c Constraints) (*Result, error) {
 	}
 	res := &Result{Algorithm: "aggregation"}
 	free := graph.NewNodeSet(g.PartitionableNodes()...)
+	ev := NewEvaluator(g)
+	var nbScratch []graph.NodeID
 
 	// Seed order: inner nodes adjacent to a primary input first (the
 	// paper's "list of inner nodes connected to a primary input"), then
@@ -46,9 +48,13 @@ func Aggregation(g *graph.Graph, c Constraints) (*Result, error) {
 		if !free.Has(seed) {
 			continue
 		}
-		cluster := graph.NewNodeSet(seed)
+		// The evaluator tracks the growing cluster's I/O demand
+		// incrementally: each absorption probe costs O(deg(neighbor)).
+		ev.Reset()
+		ev.Add(seed)
+		cluster := ev.Members()
 		res.FitChecks++
-		if !Fits(g, cluster, c) {
+		if !ev.Fits(c) {
 			// Even alone the block exceeds the budget (e.g. a 3-input
 			// gate against a 2-input programmable block): leave it.
 			continue
@@ -56,21 +62,20 @@ func Aggregation(g *graph.Graph, c Constraints) (*Result, error) {
 		grown := true
 		for grown {
 			grown = false
-			for _, nb := range clusterNeighbors(g, cluster, free) {
-				cluster.Add(nb)
+			nbScratch = clusterNeighbors(g, cluster, free, nbScratch[:0])
+			for _, nb := range nbScratch {
+				ev.Add(nb)
 				res.FitChecks++
-				if Fits(g, cluster, c) && pareAcyclicWith(g, c, res.Partitions, cluster) {
+				if ev.Fits(c) && pareAcyclicWith(g, c, res.Partitions, cluster) {
 					grown = true
 					break
 				}
-				cluster.Remove(nb)
+				ev.Remove(nb)
 			}
 		}
 		if cluster.Len() >= 2 {
-			res.Partitions = append(res.Partitions, cluster)
-			for id := range cluster {
-				free.Remove(id)
-			}
+			res.Partitions = append(res.Partitions, cluster.Clone())
+			cluster.ForEach(free.Remove)
 		}
 	}
 	res.Uncovered = uncoveredFrom(g, res.Partitions)
@@ -79,7 +84,7 @@ func Aggregation(g *graph.Graph, c Constraints) (*Result, error) {
 
 // sensorAdjacent reports whether any driver of id is a primary input.
 func sensorAdjacent(g *graph.Graph, id graph.NodeID) bool {
-	for _, e := range g.InEdges(id) {
+	for _, e := range g.InEdgesView(id) {
 		if g.Role(e.From.Node) == graph.RolePrimaryInput {
 			return true
 		}
@@ -87,21 +92,21 @@ func sensorAdjacent(g *graph.Graph, id graph.NodeID) bool {
 	return false
 }
 
-// clusterNeighbors returns the free inner nodes adjacent to the
-// cluster, in ascending ID order.
-func clusterNeighbors(g *graph.Graph, cluster, free graph.NodeSet) []graph.NodeID {
+// clusterNeighbors appends the free inner nodes adjacent to the
+// cluster to dst, in ascending ID order.
+func clusterNeighbors(g *graph.Graph, cluster, free graph.NodeSet, dst []graph.NodeID) []graph.NodeID {
 	set := graph.NewNodeSet()
-	for id := range cluster {
-		for _, m := range g.Successors(id) {
+	cluster.ForEach(func(id graph.NodeID) {
+		for _, m := range g.SuccessorsView(id) {
 			if free.Has(m) && !cluster.Has(m) {
 				set.Add(m)
 			}
 		}
-		for _, m := range g.Predecessors(id) {
+		for _, m := range g.PredecessorsView(id) {
 			if free.Has(m) && !cluster.Has(m) {
 				set.Add(m)
 			}
 		}
-	}
-	return set.Sorted()
+	})
+	return set.AppendSorted(dst)
 }

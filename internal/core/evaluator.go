@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// portIndex assigns each output port of a graph a dense integer, so
+// per-port demand counters can live in flat arrays instead of maps.
+// Both components of a partition's I/O demand are sets of *output*
+// ports: the external driver ports feeding members (Inputs) and the
+// member ports feeding non-members (Outputs).
+type portIndex struct {
+	base []int32 // per node: first port id of its output ports
+	n    int     // total output ports
+}
+
+func newPortIndex(g *graph.Graph) portIndex {
+	base := make([]int32, g.NumNodes())
+	n := int32(0)
+	for _, id := range g.NodeIDs() {
+		base[id] = n
+		n += int32(g.NumOut(id))
+	}
+	return portIndex{base: base, n: int(n)}
+}
+
+func (px portIndex) id(p graph.Port) int32 { return px.base[p.Node] + int32(p.Pin) }
+
+// Evaluator maintains the I/O demand of one candidate partition
+// incrementally: adding or removing a member costs O(degree of the
+// member) instead of the O(|partition| + |edges|) full recount that
+// PartitionIO performs, and no memory is allocated per update. It is
+// the shared fit-check engine of PareDown's pare loop, the aggregation
+// merger, and (in its permanent-demand variant, see exhaustive.go) the
+// exhaustive searcher.
+//
+// Invariants, matching PartitionIO exactly:
+//
+//   - extIn[p] is the number of edges from external output port p into
+//     members; inputs counts ports with extIn[p] > 0.
+//   - outLv[p] is the number of edges from member output port p to
+//     non-members; outputs counts ports with outLv[p] > 0.
+type Evaluator struct {
+	g       *graph.Graph
+	px      portIndex
+	members graph.NodeSet
+	extIn   []int32
+	outLv   []int32
+	inputs  int
+	outputs int
+}
+
+// NewEvaluator returns an empty evaluator over g.
+func NewEvaluator(g *graph.Graph) *Evaluator {
+	px := newPortIndex(g)
+	return &Evaluator{
+		g:       g,
+		px:      px,
+		members: graph.NewNodeSet(),
+		extIn:   make([]int32, px.n),
+		outLv:   make([]int32, px.n),
+	}
+}
+
+// Reset empties the candidate, keeping the allocated storage.
+func (ev *Evaluator) Reset() {
+	ev.members.Clear()
+	for i := range ev.extIn {
+		ev.extIn[i] = 0
+	}
+	for i := range ev.outLv {
+		ev.outLv[i] = 0
+	}
+	ev.inputs, ev.outputs = 0, 0
+}
+
+// Add inserts id into the candidate, updating the demand in O(deg(id)).
+func (ev *Evaluator) Add(id graph.NodeID) {
+	if ev.members.Has(id) {
+		return
+	}
+	for _, e := range ev.g.InEdgesView(id) {
+		p := ev.px.id(e.From)
+		if ev.members.Has(e.From.Node) {
+			// The member port stops feeding a non-member via this edge.
+			ev.outLv[p]--
+			if ev.outLv[p] == 0 {
+				ev.outputs--
+			}
+		} else {
+			ev.extIn[p]++
+			if ev.extIn[p] == 1 {
+				ev.inputs++
+			}
+		}
+	}
+	for _, e := range ev.g.OutEdgesView(id) {
+		p := ev.px.id(e.From)
+		if ev.members.Has(e.To.Node) {
+			// id stops being an external driver of this member.
+			ev.extIn[p]--
+			if ev.extIn[p] == 0 {
+				ev.inputs--
+			}
+		} else {
+			ev.outLv[p]++
+			if ev.outLv[p] == 1 {
+				ev.outputs++
+			}
+		}
+	}
+	ev.members.Add(id)
+}
+
+// Remove deletes id from the candidate, updating the demand in
+// O(deg(id)).
+func (ev *Evaluator) Remove(id graph.NodeID) {
+	if !ev.members.Has(id) {
+		return
+	}
+	ev.members.Remove(id)
+	for _, e := range ev.g.InEdgesView(id) {
+		p := ev.px.id(e.From)
+		if ev.members.Has(e.From.Node) {
+			// The member port now feeds a non-member (id) via this edge.
+			ev.outLv[p]++
+			if ev.outLv[p] == 1 {
+				ev.outputs++
+			}
+		} else {
+			ev.extIn[p]--
+			if ev.extIn[p] == 0 {
+				ev.inputs--
+			}
+		}
+	}
+	for _, e := range ev.g.OutEdgesView(id) {
+		p := ev.px.id(e.From)
+		if ev.members.Has(e.To.Node) {
+			// id becomes an external driver of this member.
+			ev.extIn[p]++
+			if ev.extIn[p] == 1 {
+				ev.inputs++
+			}
+		} else {
+			ev.outLv[p]--
+			if ev.outLv[p] == 0 {
+				ev.outputs--
+			}
+		}
+	}
+}
+
+// AddSet inserts every member of set.
+func (ev *Evaluator) AddSet(set graph.NodeSet) { set.ForEach(ev.Add) }
+
+// IO returns the candidate's current I/O demand.
+func (ev *Evaluator) IO() IO { return IO{Inputs: ev.inputs, Outputs: ev.outputs} }
+
+// Len returns the candidate's cardinality.
+func (ev *Evaluator) Len() int { return ev.members.Len() }
+
+// Has reports candidate membership.
+func (ev *Evaluator) Has(id graph.NodeID) bool { return ev.members.Has(id) }
+
+// Members returns the live candidate set. The caller must not mutate
+// it directly (use Add/Remove); Clone before storing.
+func (ev *Evaluator) Members() graph.NodeSet { return ev.members }
+
+// Fits reports whether the candidate satisfies the I/O budget (and
+// convexity when required), equivalently to Fits(g, Members(), c) but
+// in O(1) plus the optional convexity walk.
+func (ev *Evaluator) Fits(c Constraints) bool {
+	if ev.inputs > c.MaxInputs || ev.outputs > c.MaxOutputs {
+		return false
+	}
+	if c.RequireConvex && !ev.g.IsConvex(ev.members) {
+		return false
+	}
+	return true
+}
+
+// extInCount and outLeavingCount expose the per-port demand counters to
+// pareStep's O(deg) rank computation.
+func (ev *Evaluator) extInCount(p graph.Port) int32      { return ev.extIn[ev.px.id(p)] }
+func (ev *Evaluator) outLeavingCount(p graph.Port) int32 { return ev.outLv[ev.px.id(p)] }

@@ -104,6 +104,8 @@ func PareDownHetero(g *graph.Graph, p HeteroProblem, opts PareDownOptions) (*Het
 	}
 	res := &HeteroResult{}
 	blocks := graph.NewNodeSet(g.PartitionableNodes()...)
+	ev := NewEvaluator(g)
+	var sc pareScratch
 	accepted := func() []graph.NodeSet {
 		out := make([]graph.NodeSet, len(res.Assignments))
 		for i, a := range res.Assignments {
@@ -113,32 +115,30 @@ func PareDownHetero(g *graph.Graph, p HeteroProblem, opts PareDownOptions) (*Het
 	}
 
 	for blocks.Len() > 0 {
-		candidate := blocks.Clone()
-		for candidate.Len() > 0 {
+		ev.Reset()
+		ev.AddSet(blocks)
+		candidate := ev.Members()
+		for ev.Len() > 0 {
 			res.FitChecks++
-			choice, ok := cheapestFit(g, candidate, p)
+			choice, ok := cheapestFitIO(g, ev.IO(), candidate, p)
 			if ok && pareAcyclicWith(g, Constraints{MaxInputs: loosest.MaxInputs, MaxOutputs: loosest.MaxOutputs, RequireConvex: p.RequireConvex}, accepted(), candidate) {
-				if choice.Cost < float64(candidate.Len())*p.PredefCost {
+				if choice.Cost < float64(ev.Len())*p.PredefCost {
 					res.Assignments = append(res.Assignments, HeteroAssignment{
 						Partition: candidate.Clone(),
 						Choice:    choice,
 					})
 				}
-				for id := range candidate {
-					blocks.Remove(id)
-				}
+				candidate.ForEach(blocks.Remove)
 				break
 			}
-			if candidate.Len() == 1 {
+			if ev.Len() == 1 {
 				// Unfittable singleton (see PareDown): drop it from the
 				// pool so the outer loop terminates.
-				for id := range candidate {
-					blocks.Remove(id)
-				}
+				candidate.ForEach(blocks.Remove)
 				break
 			}
-			removed, _ := pareStep(g, candidate, levels, opts.DisableTieBreaks)
-			candidate.Remove(removed.Node)
+			removed, _ := pareStepEval(ev, levels, opts.DisableTieBreaks, &sc)
+			ev.Remove(removed.Node)
 		}
 	}
 	res.Uncovered = uncoveredFromHetero(g, res.Assignments)
@@ -148,7 +148,12 @@ func PareDownHetero(g *graph.Graph, p HeteroProblem, opts PareDownOptions) (*Het
 // cheapestFit returns the cheapest block choice whose budget the
 // candidate satisfies; deterministic under cost ties (name order).
 func cheapestFit(g *graph.Graph, set graph.NodeSet, p HeteroProblem) (BlockChoice, bool) {
-	io := PartitionIO(g, set)
+	return cheapestFitIO(g, PartitionIO(g, set), set, p)
+}
+
+// cheapestFitIO is cheapestFit with the candidate's I/O demand already
+// known (e.g. maintained incrementally by an Evaluator).
+func cheapestFitIO(g *graph.Graph, io IO, set graph.NodeSet, p HeteroProblem) (BlockChoice, bool) {
 	if p.RequireConvex && !g.IsConvex(set) {
 		return BlockChoice{}, false
 	}
@@ -192,7 +197,7 @@ func (r *HeteroResult) Validate(g *graph.Graph, p HeteroProblem) error {
 		if a.Choice.Cost >= float64(a.Partition.Len())*p.PredefCost {
 			return fmt.Errorf("core: hetero assignment %d is not cost-effective", i)
 		}
-		for id := range a.Partition {
+		for _, id := range a.Partition.Sorted() {
 			if g.Role(id) != graph.RoleInner {
 				return fmt.Errorf("core: hetero assignment %d contains non-inner node %q", i, g.Name(id))
 			}

@@ -100,29 +100,34 @@ func PareDown(g *graph.Graph, c Constraints, opts PareDownOptions) (*Result, err
 	}
 	res := &Result{Algorithm: "paredown"}
 	blocks := graph.NewNodeSet(g.PartitionableNodes()...)
+	ev := NewEvaluator(g)
+	var sc pareScratch
 
 	for blocks.Len() > 0 {
-		candidate := blocks.Clone()
+		// candidate <- blocks; the evaluator tracks its I/O demand
+		// incrementally from here on (O(deg) per removal instead of a
+		// full recount per fit check).
+		ev.Reset()
+		ev.AddSet(blocks)
+		candidate := ev.Members()
 		if opts.Trace != nil {
-			opts.Trace(TraceEvent{Kind: KindCandidate, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+			opts.Trace(TraceEvent{Kind: KindCandidate, Candidate: candidate.Clone(), IO: ev.IO()})
 		}
-		for candidate.Len() > 0 {
+		for ev.Len() > 0 {
 			res.FitChecks++
-			if Fits(g, candidate, c) && pareAcyclicWith(g, c, res.Partitions, candidate) {
-				if candidate.Len() > 1 {
+			if ev.Fits(c) && pareAcyclicWith(g, c, res.Partitions, candidate) {
+				if ev.Len() > 1 {
 					res.Partitions = append(res.Partitions, candidate.Clone())
 					if opts.Trace != nil {
-						opts.Trace(TraceEvent{Kind: KindAccept, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+						opts.Trace(TraceEvent{Kind: KindAccept, Candidate: candidate.Clone(), IO: ev.IO()})
 					}
 				} else if opts.Trace != nil {
-					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: ev.IO()})
 				}
-				for id := range candidate {
-					blocks.Remove(id)
-				}
+				candidate.ForEach(blocks.Remove)
 				break
 			}
-			if candidate.Len() == 1 {
+			if ev.Len() == 1 {
 				// A lone block that does not fit even by itself (e.g. a
 				// 3-input gate against a 2x2 budget) can never be pared
 				// into a fitting candidate on this path; it stays a
@@ -131,25 +136,23 @@ func PareDown(g *graph.Graph, c Constraints, opts PareDownOptions) (*Result, err
 				// the block from the pool the outer loop would never
 				// terminate.
 				if opts.Trace != nil {
-					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: PartitionIO(g, candidate)})
+					opts.Trace(TraceEvent{Kind: KindRejectSingleton, Candidate: candidate.Clone(), IO: ev.IO()})
 				}
-				for id := range candidate {
-					blocks.Remove(id)
-				}
+				candidate.ForEach(blocks.Remove)
 				break
 			}
-			removed, ranked := pareStep(g, candidate, levels, opts.DisableTieBreaks)
+			removed, ranked := pareStepEval(ev, levels, opts.DisableTieBreaks, &sc)
 			if opts.Trace != nil {
 				opts.Trace(TraceEvent{
 					Kind:      KindRemove,
 					Candidate: candidate.Clone(),
-					IO:        PartitionIO(g, candidate),
+					IO:        ev.IO(),
 					Node:      removed.Node,
 					Rank:      removed.Rank,
-					Border:    ranked,
+					Border:    append([]RankedNode(nil), ranked...),
 				})
 			}
-			candidate.Remove(removed.Node)
+			ev.Remove(removed.Node)
 		}
 	}
 	res.Uncovered = uncoveredFrom(g, res.Partitions)
@@ -192,47 +195,75 @@ func pareAcyclicWith(g *graph.Graph, c Constraints, accepted []graph.NodeSet, ca
 // O(|C| + |E|), which is what keeps the 465-inner-node experiment of
 // Section 5.2 fast.
 func pareStep(g *graph.Graph, candidate graph.NodeSet, levels map[graph.NodeID]int, noTieBreaks bool) (RankedNode, []RankedNode) {
-	// Per-step port usage indexes, O(edges touching the candidate).
-	extIn := map[graph.Port]int{}  // external driver port -> edge count into candidate
-	outExt := map[graph.Port]int{} // member output port -> edge count leaving candidate
-	for id := range candidate {
-		for _, e := range g.InEdges(id) {
-			if !candidate.Has(e.From.Node) {
-				extIn[e.From]++
-			}
-		}
-		for _, e := range g.AllOutEdges(id) {
-			if !candidate.Has(e.To.Node) {
-				outExt[e.From]++
-			}
-		}
-	}
-	var border []RankedNode
-	for _, id := range candidate.Sorted() {
+	ev := NewEvaluator(g)
+	ev.AddSet(candidate)
+	var sc pareScratch
+	return pareStepEval(ev, levels, noTieBreaks, &sc)
+}
+
+// pareScratch holds pareStepEval's reusable working storage, so the
+// pare loop performs no per-step allocation.
+type pareScratch struct {
+	ids    []graph.NodeID
+	border []RankedNode
+	ports  []srcPort
+}
+
+// srcPort groups one border block's in-edges by driver output port.
+type srcPort struct {
+	port     graph.Port
+	cnt      int32
+	internal bool // driver is a candidate member
+}
+
+// pareStepEval is pareStep against a live Evaluator: the candidate's
+// per-port demand counters are already maintained incrementally, so
+// ranking each border block costs O(deg(block)) with no allocation.
+func pareStepEval(ev *Evaluator, levels map[graph.NodeID]int, noTieBreaks bool, sc *pareScratch) (RankedNode, []RankedNode) {
+	g := ev.g
+	candidate := ev.Members()
+	border := sc.border[:0]
+	sc.ids = candidate.AppendSorted(sc.ids[:0])
+	for _, id := range sc.ids {
 		if g.Border(candidate, id) == graph.NotBorder {
 			continue
 		}
 		rank := 0
-		// External driver ports that fed only this block.
-		feeds := map[graph.Port]int{}
-		internalSrc := map[graph.Port]bool{}
-		for _, e := range g.InEdges(id) {
-			if candidate.Has(e.From.Node) {
-				internalSrc[e.From] = true
-			} else {
-				feeds[e.From]++
+		// Group this block's in-edges by driver port: external driver
+		// ports that fed only this block lower the rank; member ports
+		// that fed this block and nothing outside raise it.
+		ports := sc.ports[:0]
+		for _, e := range g.InEdgesView(id) {
+			found := false
+			for k := range ports {
+				if ports[k].port == e.From {
+					ports[k].cnt++
+					found = true
+					break
+				}
+			}
+			if !found {
+				ports = append(ports, srcPort{port: e.From, cnt: 1, internal: candidate.Has(e.From.Node)})
 			}
 		}
-		for p, cnt := range feeds {
-			if extIn[p] == cnt {
+		sc.ports = ports
+		for _, pc := range ports {
+			if pc.internal {
+				if ev.outLeavingCount(pc.port) == 0 {
+					rank++
+				}
+			} else if ev.extInCount(pc.port) == pc.cnt {
 				rank--
 			}
 		}
-		// This block's own output ports.
-		for pin := 0; pin < g.NumOut(id); pin++ {
+		// This block's own output ports (OutEdgesView is ordered by
+		// pin, so each pin's edges form one contiguous run).
+		oe := g.OutEdgesView(id)
+		for i := 0; i < len(oe); {
+			pin := oe[i].From.Pin
 			intoC, ext := 0, 0
-			for _, e := range g.OutEdges(id, pin) {
-				if candidate.Has(e.To.Node) {
+			for ; i < len(oe) && oe[i].From.Pin == pin; i++ {
+				if candidate.Has(oe[i].To.Node) {
 					intoC++
 				} else {
 					ext++
@@ -245,12 +276,6 @@ func pareStep(g *graph.Graph, candidate graph.NodeSet, levels map[graph.NodeID]i
 				rank++ // becomes an external driver port
 			}
 		}
-		// Member ports that fed this block and nothing outside.
-		for p := range internalSrc {
-			if outExt[p] == 0 {
-				rank++
-			}
-		}
 		border = append(border, RankedNode{
 			Node:      id,
 			Rank:      rank,
@@ -259,13 +284,14 @@ func pareStep(g *graph.Graph, candidate graph.NodeSet, levels map[graph.NodeID]i
 			Level:     levels[id],
 		})
 	}
+	sc.border = border
 	if len(border) == 0 {
 		// Cannot happen for a well-formed DAG (a minimum-level member is
 		// always input-border), but keep a deterministic fallback: pare
 		// the highest-level member.
 		var fb RankedNode
 		fb.Node = graph.InvalidNode
-		for _, id := range candidate.Sorted() {
+		for _, id := range sc.ids {
 			if fb.Node == graph.InvalidNode || levels[id] > fb.Level {
 				fb = RankedNode{Node: id, Level: levels[id], Indegree: g.Indegree(id), Outdegree: g.Outdegree(id)}
 			}

@@ -76,18 +76,18 @@ func (io IO) Total() int { return io.Inputs + io.Outputs }
 func PartitionIO(g *graph.Graph, set graph.NodeSet) IO {
 	inPorts := map[graph.Port]bool{}
 	outPorts := map[graph.Port]bool{}
-	for id := range set {
-		for _, e := range g.InEdges(id) {
+	set.ForEach(func(id graph.NodeID) {
+		for _, e := range g.InEdgesView(id) {
 			if !set.Has(e.From.Node) {
 				inPorts[e.From] = true
 			}
 		}
-		for _, e := range g.AllOutEdges(id) {
+		for _, e := range g.OutEdgesView(id) {
 			if !set.Has(e.To.Node) {
 				outPorts[e.From] = true
 			}
 		}
-	}
+	})
 	return IO{Inputs: len(inPorts), Outputs: len(outPorts)}
 }
 
@@ -153,7 +153,7 @@ func (r *Result) Validate(g *graph.Graph, c Constraints) error {
 		if p.Len() < 2 {
 			return fmt.Errorf("core: partition %d has %d member(s); need at least 2", i, p.Len())
 		}
-		for id := range p {
+		for _, id := range p.Sorted() {
 			if g.Role(id) != graph.RoleInner {
 				return fmt.Errorf("core: partition %d contains non-inner node %q", i, g.Name(id))
 			}
@@ -202,9 +202,7 @@ func (r *Result) Validate(g *graph.Graph, c Constraints) error {
 func uncoveredFrom(g *graph.Graph, parts []graph.NodeSet) []graph.NodeID {
 	covered := graph.NewNodeSet()
 	for _, p := range parts {
-		for id := range p {
-			covered.Add(id)
-		}
+		p.ForEach(covered.Add)
 	}
 	var out []graph.NodeID
 	for _, id := range g.InnerNodes() {

@@ -21,18 +21,18 @@ func (g *Graph) IsConvex(set NodeSet) bool {
 	// downstream = nodes outside `set` reachable from `set`.
 	downstream := NewNodeSet()
 	var stack []NodeID
-	for id := range set {
-		for _, m := range g.Successors(id) {
+	set.ForEach(func(id NodeID) {
+		for _, m := range g.SuccessorsView(id) {
 			if !set.Has(m) && !downstream.Has(m) {
 				downstream.Add(m)
 				stack = append(stack, m)
 			}
 		}
-	}
+	})
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, m := range g.Successors(n) {
+		for _, m := range g.SuccessorsView(n) {
 			if set.Has(m) {
 				// A path left the set (into `n`'s ancestry) and re-entered.
 				return false
@@ -88,14 +88,14 @@ func (k BorderKind) String() string {
 // block in a well-formed DAG.
 func (g *Graph) Border(set NodeSet, n NodeID) BorderKind {
 	allInOutside := true
-	for _, e := range g.InEdges(n) {
+	for _, e := range g.InEdgesView(n) {
 		if set.Has(e.From.Node) {
 			allInOutside = false
 			break
 		}
 	}
 	allOutOutside := true
-	for _, e := range g.AllOutEdges(n) {
+	for _, e := range g.OutEdgesView(n) {
 		if set.Has(e.To.Node) {
 			allOutOutside = false
 			break
@@ -127,7 +127,7 @@ func (g *Graph) Border(set NodeSet, n NodeID) BorderKind {
 func (g *Graph) Contract(partitions []NodeSet) (*Contracted, error) {
 	owner := make(map[NodeID]int) // node -> partition index
 	for pi, p := range partitions {
-		for id := range p {
+		for _, id := range p.Sorted() {
 			if g.Role(id) != RoleInner {
 				return nil, fmt.Errorf("graph: contract: node %q is not an inner node", g.Name(id))
 			}

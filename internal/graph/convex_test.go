@@ -102,7 +102,7 @@ func TestBorderAlwaysExistsInNonEmptyCandidate(t *testing.T) {
 		if set.Len() == 0 {
 			set.Add(inner[0])
 		}
-		for id := range set {
+		for _, id := range set.Sorted() {
 			if g.Border(set, id) != NotBorder {
 				return true
 			}

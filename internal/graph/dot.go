@@ -13,9 +13,8 @@ func (g *Graph) DOT(title string, partitions []NodeSet) string {
 	b.WriteString("  rankdir=LR;\n")
 	owner := map[NodeID]int{}
 	for pi, p := range partitions {
-		for id := range p {
-			owner[id] = pi
-		}
+		pi := pi
+		p.ForEach(func(id NodeID) { owner[id] = pi })
 	}
 	for pi, p := range partitions {
 		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"P%d\";\n", pi, pi)

@@ -17,7 +17,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // NodeID identifies a node within a single Graph. IDs are dense and
@@ -96,6 +95,20 @@ type node struct {
 	in []*Edge
 	// out[i] lists edges leaving output pin i, in insertion order.
 	out [][]Edge
+
+	// Compact adjacency index, maintained by Connect. The hot
+	// partitioning paths (internal/core) walk edges and neighbors of a
+	// node millions of times per run; these flat slices avoid the
+	// per-call map building and copying the per-pin views require.
+	//
+	// inAdj lists all edges entering the node, ordered by input pin.
+	// outAdj lists all edges leaving the node, ordered by output pin
+	// then insertion order. pred and succ list the distinct neighbor
+	// IDs in ascending order.
+	inAdj  []Edge
+	outAdj []Edge
+	pred   []NodeID
+	succ   []NodeID
 }
 
 // Graph is a mutable port-aware DAG. The zero value is an empty graph
@@ -183,7 +196,50 @@ func (g *Graph) Connect(from NodeID, fromPin int, to NodeID, toPin int) error {
 	ec := e
 	g.nodes[to].in[toPin] = &ec
 	g.edges++
+
+	// Maintain the adjacency index incrementally, preserving the
+	// documented orders (inAdj by input pin; outAdj by output pin then
+	// insertion; pred/succ ascending and distinct).
+	src, dst := &g.nodes[from], &g.nodes[to]
+	dst.inAdj = insertEdgeAt(dst.inAdj, e, func(x Edge) bool { return x.To.Pin > toPin })
+	src.outAdj = insertEdgeAt(src.outAdj, e, func(x Edge) bool { return x.From.Pin > fromPin })
+	dst.pred = insertID(dst.pred, from)
+	src.succ = insertID(src.succ, to)
 	return nil
+}
+
+// insertEdgeAt inserts e before the first element satisfying after,
+// keeping the slice ordered.
+func insertEdgeAt(s []Edge, e Edge, after func(Edge) bool) []Edge {
+	i := len(s)
+	for j, x := range s {
+		if after(x) {
+			i = j
+			break
+		}
+	}
+	s = append(s, Edge{})
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// insertID inserts id into the ascending slice if absent.
+func insertID(s []NodeID, id NodeID) []NodeID {
+	i := len(s)
+	for j, x := range s {
+		if x == id {
+			return s
+		}
+		if x > id {
+			i = j
+			break
+		}
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
 }
 
 // MustConnect is Connect that panics on error.
@@ -221,16 +277,13 @@ func (g *Graph) reaches(src, dst NodeID) bool {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for pin := 0; pin < g.nodes[n].nout; pin++ {
-			for _, e := range g.nodes[n].out[pin] {
-				m := e.To.Node
-				if m == dst {
-					return true
-				}
-				if !seen[m] {
-					seen[m] = true
-					stack = append(stack, m)
-				}
+		for _, m := range g.nodes[n].succ {
+			if m == dst {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
 			}
 		}
 	}
@@ -287,25 +340,46 @@ func (g *Graph) OutEdges(n NodeID, pin int) []Edge {
 }
 
 // InEdges returns all edges entering node n, ordered by input pin.
+// The returned slice is a copy; hot paths should use InEdgesView.
 func (g *Graph) InEdges(n NodeID) []Edge {
-	var out []Edge
-	for _, e := range g.nodes[n].in {
-		if e != nil {
-			out = append(out, *e)
-		}
+	src := g.nodes[n].inAdj
+	if len(src) == 0 {
+		return nil
 	}
-	return out
+	return append([]Edge(nil), src...)
 }
 
 // AllOutEdges returns all edges leaving node n, ordered by output pin
-// then insertion order.
+// then insertion order. The returned slice is a copy; hot paths should
+// use OutEdgesView.
 func (g *Graph) AllOutEdges(n NodeID) []Edge {
-	var out []Edge
-	for pin := 0; pin < g.nodes[n].nout; pin++ {
-		out = append(out, g.nodes[n].out[pin]...)
+	src := g.nodes[n].outAdj
+	if len(src) == 0 {
+		return nil
 	}
-	return out
+	return append([]Edge(nil), src...)
 }
+
+// InEdgesView returns the edges entering node n ordered by input pin,
+// sharing the graph's internal index. The slice must not be modified
+// and is invalidated by Connect; it exists so the partitioning hot
+// paths can walk adjacency without allocating.
+func (g *Graph) InEdgesView(n NodeID) []Edge { return g.nodes[n].inAdj }
+
+// OutEdgesView returns the edges leaving node n ordered by output pin
+// then insertion order, sharing the graph's internal index. The slice
+// must not be modified and is invalidated by Connect.
+func (g *Graph) OutEdgesView(n NodeID) []Edge { return g.nodes[n].outAdj }
+
+// PredecessorsView returns the distinct source nodes of edges into n in
+// ascending ID order, sharing the graph's internal index. The slice
+// must not be modified and is invalidated by Connect.
+func (g *Graph) PredecessorsView(n NodeID) []NodeID { return g.nodes[n].pred }
+
+// SuccessorsView returns the distinct destination nodes of edges out of
+// n in ascending ID order, sharing the graph's internal index. The
+// slice must not be modified and is invalidated by Connect.
+func (g *Graph) SuccessorsView(n NodeID) []NodeID { return g.nodes[n].succ }
 
 // Edges returns every edge of the graph ordered by source node, source
 // pin, then insertion order.
@@ -372,48 +446,22 @@ func (g *Graph) PrimaryInputs() []NodeID { return g.NodesWithRole(RolePrimaryInp
 func (g *Graph) PrimaryOutputs() []NodeID { return g.NodesWithRole(RolePrimaryOutput) }
 
 // Indegree returns the number of driven input pins of node n.
-func (g *Graph) Indegree(n NodeID) int {
-	d := 0
-	for _, e := range g.nodes[n].in {
-		if e != nil {
-			d++
-		}
-	}
-	return d
-}
+func (g *Graph) Indegree(n NodeID) int { return len(g.nodes[n].inAdj) }
 
 // Outdegree returns the total number of edges leaving node n (fan-out
 // counts each destination separately).
-func (g *Graph) Outdegree(n NodeID) int {
-	d := 0
-	for pin := 0; pin < g.nodes[n].nout; pin++ {
-		d += len(g.nodes[n].out[pin])
-	}
-	return d
-}
+func (g *Graph) Outdegree(n NodeID) int { return len(g.nodes[n].outAdj) }
 
 // Predecessors returns the distinct source nodes of edges into n, in
-// ascending ID order.
+// ascending ID order. The returned slice is a copy.
 func (g *Graph) Predecessors(n NodeID) []NodeID {
-	set := map[NodeID]bool{}
-	for _, e := range g.nodes[n].in {
-		if e != nil {
-			set[e.From.Node] = true
-		}
-	}
-	return sortedIDs(set)
+	return append([]NodeID(nil), g.nodes[n].pred...)
 }
 
 // Successors returns the distinct destination nodes of edges out of n,
-// in ascending ID order.
+// in ascending ID order. The returned slice is a copy.
 func (g *Graph) Successors(n NodeID) []NodeID {
-	set := map[NodeID]bool{}
-	for pin := 0; pin < g.nodes[n].nout; pin++ {
-		for _, e := range g.nodes[n].out[pin] {
-			set[e.To.Node] = true
-		}
-	}
-	return sortedIDs(set)
+	return append([]NodeID(nil), g.nodes[n].succ...)
 }
 
 // Clone returns a deep copy of g.
@@ -439,16 +487,11 @@ func (g *Graph) Clone() *Graph {
 		for pin, es := range nd.out {
 			cn.out[pin] = append([]Edge(nil), es...)
 		}
+		cn.inAdj = append([]Edge(nil), nd.inAdj...)
+		cn.outAdj = append([]Edge(nil), nd.outAdj...)
+		cn.pred = append([]NodeID(nil), nd.pred...)
+		cn.succ = append([]NodeID(nil), nd.succ...)
 		c.nodes[i] = cn
 	}
 	return c
-}
-
-func sortedIDs(set map[NodeID]bool) []NodeID {
-	out := make([]NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestNodeSetMatchesMapModel drives random operation sequences against
+// a map-based reference model (the representation NodeSet had before
+// the bitset swap), proving the new implementation behavior-preserving
+// on every part of the API the partitioner relies on.
+func TestNodeSetMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const maxID = 200
+
+	type model struct {
+		set NodeSet
+		ref map[NodeID]bool
+	}
+	newModel := func() *model { return &model{set: NewNodeSet(), ref: map[NodeID]bool{}} }
+
+	check := func(t *testing.T, m *model, step int) {
+		t.Helper()
+		if m.set.Len() != len(m.ref) {
+			t.Fatalf("step %d: Len = %d, model %d", step, m.set.Len(), len(m.ref))
+		}
+		want := make([]NodeID, 0, len(m.ref))
+		for id := range m.ref {
+			want = append(want, id)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := m.set.Sorted()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: Sorted = %v, model %v", step, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: Sorted = %v, model %v", step, got, want)
+			}
+		}
+		// ForEach must visit exactly the sorted members, in order.
+		i := 0
+		m.set.ForEach(func(id NodeID) {
+			if i >= len(want) || id != want[i] {
+				t.Fatalf("step %d: ForEach visited %d at position %d, want %v", step, id, i, want)
+			}
+			i++
+		})
+		if i != len(want) {
+			t.Fatalf("step %d: ForEach visited %d members, want %d", step, i, len(want))
+		}
+		// Spot-check membership, including absent IDs.
+		for k := 0; k < 10; k++ {
+			id := NodeID(rng.Intn(maxID + 50))
+			if m.set.Has(id) != m.ref[id] {
+				t.Fatalf("step %d: Has(%d) = %v, model %v", step, id, m.set.Has(id), m.ref[id])
+			}
+		}
+	}
+
+	refIntersects := func(a, b map[NodeID]bool) bool {
+		for id := range a {
+			if b[id] {
+				return true
+			}
+		}
+		return false
+	}
+	refEqual := func(a, b map[NodeID]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for id := range a {
+			if !b[id] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		a, b := newModel(), newModel()
+		for step := 0; step < 400; step++ {
+			m := a
+			if rng.Intn(2) == 0 {
+				m = b
+			}
+			id := NodeID(rng.Intn(maxID))
+			switch rng.Intn(5) {
+			case 0, 1: // biased toward growth
+				m.set.Add(id)
+				m.ref[id] = true
+			case 2:
+				m.set.Remove(id)
+				delete(m.ref, id)
+			case 3:
+				if got, want := a.set.Intersects(b.set), refIntersects(a.ref, b.ref); got != want {
+					t.Fatalf("trial %d step %d: Intersects = %v, model %v", trial, step, got, want)
+				}
+				if a.set.Intersects(b.set) != b.set.Intersects(a.set) {
+					t.Fatalf("trial %d step %d: Intersects not symmetric", trial, step)
+				}
+			case 4:
+				if got, want := a.set.Equal(b.set), refEqual(a.ref, b.ref); got != want {
+					t.Fatalf("trial %d step %d: Equal = %v, model %v", trial, step, got, want)
+				}
+			}
+			if step%37 == 0 {
+				check(t, m, step)
+				// Clone must be independent of the original.
+				c := m.set.Clone()
+				c.Add(NodeID(maxID + 7))
+				if m.set.Has(NodeID(maxID + 7)) {
+					t.Fatalf("trial %d step %d: Clone shares storage", trial, step)
+				}
+				if !c.Has(id) == m.set.Has(id) && m.set.Has(id) {
+					t.Fatalf("trial %d step %d: Clone lost member %d", trial, step, id)
+				}
+			}
+		}
+		check(t, a, -1)
+		check(t, b, -1)
+		// A set always equals its clone and itself.
+		if !a.set.Equal(a.set.Clone()) || !a.set.Equal(a.set) {
+			t.Fatalf("trial %d: Equal(clone) failed", trial)
+		}
+	}
+}
+
+func TestNodeSetZeroValueReads(t *testing.T) {
+	var s NodeSet
+	if s.Len() != 0 || s.Has(3) {
+		t.Fatal("zero-value NodeSet should read as empty")
+	}
+	if !s.Equal(NewNodeSet()) || s.Intersects(NewNodeSet(1, 2)) {
+		t.Fatal("zero-value NodeSet comparisons")
+	}
+	s.ForEach(func(NodeID) { t.Fatal("zero-value ForEach visited a member") })
+	if got := len(s.Sorted()); got != 0 {
+		t.Fatalf("zero-value Sorted len = %d", got)
+	}
+}

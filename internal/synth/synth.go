@@ -17,7 +17,8 @@ import (
 	"repro/internal/netlist"
 )
 
-// Algorithm selects the partitioner.
+// Algorithm selects the partitioner by its core registry name; any
+// name in core.Algorithms() is accepted.
 type Algorithm string
 
 const (
@@ -86,20 +87,13 @@ func Synthesize(d *netlist.Design, opts Options) (*Output, error) {
 	c := opts.constraints()
 	g := d.Graph()
 
-	var res *core.Result
-	var err error
-	switch alg := opts.Algorithm; alg {
-	case "", PareDown:
-		res, err = core.PareDown(g, c, core.PareDownOptions{})
-	case ExhaustiveSearch:
-		res, err = core.Exhaustive(g, c, core.ExhaustiveOptions{})
-	case AggregationBaseline:
-		res, err = core.Aggregation(g, c)
-	default:
-		return nil, fmt.Errorf("synth: unknown algorithm %q", alg)
+	alg := string(opts.Algorithm)
+	if alg == "" {
+		alg = string(PareDown)
 	}
+	res, err := core.Partition(g, alg, c, core.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("synth: %w", err)
 	}
 	return Realize(d, res, c)
 }
@@ -139,9 +133,8 @@ func Realize(d *netlist.Design, res *core.Result, c core.Constraints) (*Output, 
 	// Ownership of each original node: partition index or -1.
 	owner := map[graph.NodeID]int{}
 	for pi, p := range res.Partitions {
-		for id := range p {
-			owner[id] = pi
-		}
+		pi := pi
+		p.ForEach(func(id graph.NodeID) { owner[id] = pi })
 	}
 
 	// Carry over all non-partitioned blocks with their parameters (and
