@@ -1,0 +1,79 @@
+// Command eblocksd serves the synthesis pipeline over HTTP: a
+// concurrent front-end with a content-addressed result cache, so
+// repeated synthesis of the same design is served from memory. JSON
+// in, JSON out, reusing the netlist JSON wire form.
+//
+// Usage:
+//
+//	eblocksd -addr :8080 -cache 512
+//
+// Endpoints:
+//
+//	POST /v1/synthesize  {"design": {...} | "ebk": "...", "algorithm": "paredown", ...}
+//	POST /v1/partition   same request shape; partitioning summary only
+//	POST /v1/batch       {"requests": [ ... ]}
+//	GET  /v1/algorithms
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before
+// exiting (graceful shutdown, 10 s grace period).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 256, "result cache capacity (entries)")
+		workers   = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("eblocksd: listening on %s (cache %d entries)", *addr, *cacheSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("eblocksd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("eblocksd: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("eblocksd: shutdown: %v", err)
+		}
+	}
+
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "eblocksd: served %d requests (%d cache hits, %d coalesced, %d errors), p50 %v p99 %v\n",
+		st.Requests, st.CacheHits, st.Coalesced, st.Errors, st.P50, st.P99)
+}

@@ -8,9 +8,11 @@
 //
 //	eblocksynth -design garage.ebk -o synth.ebk -c firmware.c
 //	eblocksynth -library "Podium Timer 3" -algo exhaustive -verify
+//	eblocksynth -library "Podium Timer 3" -json   # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/synth"
 )
 
@@ -35,6 +38,7 @@ func main() {
 		paperMode  = flag.Bool("papermode", false, "use the paper's exact fit check (no convexity guard); may be unrealizable")
 		dot        = flag.Bool("dot", false, "print the partitioned design in Graphviz dot")
 		parts      = flag.Bool("partitions", false, "print the partition membership summary")
+		jsonOut    = flag.Bool("json", false, "emit the synthesized design + partition summary as JSON (the eblocksd response schema) instead of .ebk")
 	)
 	flag.StringVar(algorithm, "algorithm", "paredown", algoHelp+" (alias of -algo)")
 	flag.Parse()
@@ -43,12 +47,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	synthOpts := synth.Options{
+		Constraints: core.Constraints{MaxInputs: *maxIn, MaxOutputs: *maxOut},
+		Algorithm:   synth.Algorithm(*algorithm),
+		PaperMode:   *paperMode,
+	}
 	res, err := cli.SynthesizeReport(os.Stderr, d, cli.SynthesizeOptions{
-		Synth: synth.Options{
-			Constraints: core.Constraints{MaxInputs: *maxIn, MaxOutputs: *maxOut},
-			Algorithm:   synth.Algorithm(*algorithm),
-			PaperMode:   *paperMode,
-		},
+		Synth:  synthOpts,
 		Verify: *verify,
 		DOT:    *dot,
 	})
@@ -61,12 +66,32 @@ func main() {
 	if *dot {
 		fmt.Println(res.DOT)
 	}
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(res.NetlistEBK), 0o644); err != nil {
+	var payload string
+	if *jsonOut {
+		ca, err := synth.Capture(d, synthOpts)
+		if err != nil {
 			fatal(err)
 		}
-	} else if !*dot {
-		fmt.Print(res.NetlistEBK)
+		resp, err := service.NewResponse(res.Output, ca)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		payload = string(raw) + "\n"
+	} else {
+		payload = res.NetlistEBK
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(payload), 0o644); err != nil {
+			fatal(err)
+		}
+	} else if !*dot || *jsonOut {
+		// -dot alone claims stdout for the graph; an explicit -json
+		// still gets its payload (after the graph when both are given).
+		fmt.Print(payload)
 	}
 	if *cPath != "" {
 		if err := os.WriteFile(*cPath, []byte(res.CSource), 0o644); err != nil {

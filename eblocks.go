@@ -28,6 +28,8 @@
 package eblocks
 
 import (
+	"context"
+
 	"repro/internal/bench"
 	"repro/internal/block"
 	"repro/internal/core"
@@ -62,6 +64,17 @@ func SerializeDesign(d *Design) string { return netlist.Serialize(d) }
 
 // DesignJSON renders a design as JSON for external tooling.
 func DesignJSON(d *Design) ([]byte, error) { return netlist.MarshalJSON(d) }
+
+// DesignFromJSON rebuilds a design from the JSON wire form (the
+// inverse of DesignJSON; the two round-trip byte-identically).
+func DesignFromJSON(data []byte, reg *BlockRegistry) (*Design, error) {
+	return netlist.UnmarshalJSON(data, reg)
+}
+
+// DesignFingerprint returns the canonical content hash of a design
+// (SHA-256 hex, independent of block insertion order) — the content
+// address the synthesis service caches results under.
+func DesignFingerprint(d *Design) string { return netlist.Fingerprint(d) }
 
 // CloneDesign deep-copies a design.
 func CloneDesign(d *Design) *Design { return netlist.Clone(d) }
@@ -174,6 +187,29 @@ type VerifyOptions = synth.VerifyOptions
 // Synthesize partitions a design and replaces each partition with a
 // programmable block running merged code (Sections 3.2–3.3).
 func Synthesize(d *Design, opts SynthOptions) (*SynthOutput, error) { return synth.Synthesize(d, opts) }
+
+// The staged pipeline behind Synthesize (Figure 2 as five pure
+// stages): Capture validates a design and resolves options; the
+// artifact then flows Partition → Merge → Emit → Verify. Stages can be
+// skipped (Captured.Adopt), cached, or fanned out; see internal/synth.
+type (
+	SynthCaptured    = synth.Captured
+	SynthPartitioned = synth.Partitioned
+	SynthMerged      = synth.Merged
+	SynthEmitted     = synth.Emitted
+	SynthVerified    = synth.Verified
+)
+
+// CaptureDesign runs the pipeline's first stage.
+func CaptureDesign(d *Design, opts SynthOptions) (*SynthCaptured, error) {
+	return synth.Capture(d, opts)
+}
+
+// RunPipeline executes capture → partition → merge → emit under ctx
+// (cancellation reaches the partitioner).
+func RunPipeline(ctx context.Context, d *Design, opts SynthOptions) (*SynthEmitted, error) {
+	return synth.Run(ctx, d, opts)
+}
 
 // Verify replays shared stimuli on both designs and reports output
 // mismatches (none means behaviorally equivalent on that schedule).

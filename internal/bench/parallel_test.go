@@ -85,7 +85,7 @@ func TestTable1Algorithm(t *testing.T) {
 
 func TestParallelFor(t *testing.T) {
 	var sum atomic.Int64
-	if err := parallelFor(100, 7, func(i int) error {
+	if err := ParallelFor(100, 7, func(i int) error {
 		sum.Add(int64(i))
 		return nil
 	}); err != nil {
@@ -96,7 +96,7 @@ func TestParallelFor(t *testing.T) {
 	}
 	// First error by index order, deterministically.
 	wantErr := errors.New("boom")
-	err := parallelFor(50, 4, func(i int) error {
+	err := ParallelFor(50, 4, func(i int) error {
 		if i == 13 || i == 31 {
 			return wantErr
 		}
@@ -105,7 +105,7 @@ func TestParallelFor(t *testing.T) {
 	if !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := parallelFor(0, 4, func(int) error { return nil }); err != nil {
+	if err := ParallelFor(0, 4, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 }

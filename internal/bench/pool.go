@@ -6,14 +6,15 @@ import (
 	"sync/atomic"
 )
 
-// parallelFor runs fn(i) for i in [0, n) across a bounded worker pool
+// ParallelFor runs fn(i) for i in [0, n) across a bounded worker pool
 // and returns the first error (by index order, so error reporting is
 // deterministic). Once any item fails, workers stop picking up new
 // items — in-flight items finish, mirroring the fast-fail of a
 // sequential loop. Harness rows are written into index-addressed
 // slices by fn, keeping output ordering deterministic regardless of
-// scheduling.
-func parallelFor(n, workers int, fn func(i int) error) error {
+// scheduling. Besides the table harnesses, the synthesis service's
+// batch API fans out over this pool.
+func ParallelFor(n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -86,7 +86,7 @@ func RunSweep(opts SweepOptions) ([]SweepRow, error) {
 
 	shapes := opts.shapes()
 	rows := make([]SweepRow, len(shapes))
-	err := parallelFor(len(shapes), opts.Workers, func(i int) error {
+	err := ParallelFor(len(shapes), opts.Workers, func(i int) error {
 		shape := shapes[i]
 		c := core.Constraints{MaxInputs: shape[0], MaxOutputs: shape[1]}
 		row := SweepRow{MaxInputs: shape[0], MaxOutputs: shape[1]}

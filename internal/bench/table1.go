@@ -95,7 +95,7 @@ func RunTable1(opts Table1Options) ([]Table1Row, error) {
 	c := opts.constraints()
 	lib := designs.Library()
 	rows := make([]Table1Row, len(lib))
-	err := parallelFor(len(lib), opts.Workers, func(i int) error {
+	err := ParallelFor(len(lib), opts.Workers, func(i int) error {
 		e := lib[i]
 		d := e.Build()
 		g := d.Graph()

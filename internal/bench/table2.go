@@ -148,7 +148,7 @@ func RunTable2(opts Table2Options) ([]Table2Row, error) {
 		}
 	}
 
-	err := parallelFor(len(items), opts.Workers, func(k int) error {
+	err := ParallelFor(len(items), opts.Workers, func(k int) error {
 		si, di := items[k].si, items[k].di
 		size := sizes[si]
 		cell := &cells[si][di]

@@ -15,6 +15,7 @@ package block
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/behavior"
 )
@@ -125,8 +126,10 @@ func (t *Type) ParamDefault(name string) (int64, bool) {
 }
 
 // Registry maps type names to types. A Registry is safe for concurrent
-// reads after construction.
+// use: lookups take a read lock and registration a write lock, so the
+// synthesis service may share one catalog across request goroutines.
 type Registry struct {
+	mu    sync.RWMutex
 	types map[string]*Type
 }
 
@@ -136,6 +139,12 @@ func NewRegistry() *Registry { return &Registry{types: map[string]*Type{}} }
 // Register validates and adds a type. The type's program, when present,
 // must declare exactly the ports the type lists.
 func (r *Registry) Register(t *Type) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(t)
+}
+
+func (r *Registry) register(t *Type) error {
 	if t.Name == "" {
 		return fmt.Errorf("block: empty type name")
 	}
@@ -175,11 +184,29 @@ func (r *Registry) MustRegister(t *Type) {
 	}
 }
 
+// Ensure registers t unless a type of that name already exists. The
+// check and the registration are one atomic step, so concurrent
+// synthesis runs that need the same programmable type cannot collide.
+func (r *Registry) Ensure(t *Type) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.types[t.Name]; ok {
+		return nil
+	}
+	return r.register(t)
+}
+
 // Lookup returns the named type, or nil.
-func (r *Registry) Lookup(name string) *Type { return r.types[name] }
+func (r *Registry) Lookup(name string) *Type {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.types[name]
+}
 
 // Names returns all registered type names, sorted.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.types))
 	for n := range r.types {
 		out = append(out, n)
@@ -189,7 +216,11 @@ func (r *Registry) Names() []string {
 }
 
 // Len returns the number of registered types.
-func (r *Registry) Len() int { return len(r.types) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.types)
+}
 
 func sameStrings(a, b []string) bool {
 	if len(a) != len(b) {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -21,8 +22,9 @@ import (
 )
 
 // LoadDesign resolves the -design/-library flag pair shared by the
-// tools: exactly one must be set; path loads a .ebk file against the
-// standard catalog, library builds one of the Table 1 designs.
+// tools: exactly one must be set; path loads a .ebk (or, with a .json
+// extension, a JSON wire form) file against the standard catalog,
+// library builds one of the Table 1 designs.
 func LoadDesign(path, library string) (*netlist.Design, error) {
 	switch {
 	case path != "" && library != "":
@@ -31,6 +33,9 @@ func LoadDesign(path, library string) (*netlist.Design, error) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
+		}
+		if strings.HasSuffix(path, ".json") {
+			return netlist.UnmarshalJSON(raw, block.Standard())
 		}
 		return netlist.Parse(string(raw), block.Standard())
 	case library != "":

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/graph"
+)
+
+// TestPartitionConcurrent hammers core.Partition from many goroutines
+// over shared graphs and asserts every concurrent result is identical
+// to the sequential baseline (run with -race in CI).
+func TestPartitionConcurrent(t *testing.T) {
+	type job struct {
+		name string
+		g    *graph.Graph
+		algo string
+	}
+	var jobs []job
+	for _, dn := range []string{"Podium Timer 3", "Noise At Night Detector", "Two-Zone Security", "Timed Passage"} {
+		g := designs.Lookup(dn).Build().Graph()
+		for _, algo := range []string{"paredown", "aggregation", "hetero"} {
+			jobs = append(jobs, job{dn + "/" + algo, g, algo})
+		}
+	}
+	jobs = append(jobs, job{
+		"Podium Timer 3/exhaustive",
+		designs.Lookup("Podium Timer 3").Build().Graph(),
+		"exhaustive",
+	})
+
+	c := DefaultConstraints
+	baseline := make([]string, len(jobs))
+	for i, j := range jobs {
+		res, err := Partition(j.g, j.algo, c, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", j.name, err)
+		}
+		baseline[i] = resultKey(j.g, res)
+	}
+
+	const goroutines = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(jobs)
+				j := jobs[i]
+				res, err := Partition(j.g, j.algo, c, Options{})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", j.name, err)
+					return
+				}
+				if got := resultKey(j.g, res); got != baseline[i] {
+					errs <- fmt.Errorf("%s: concurrent result differs from sequential:\n%s\nvs\n%s", j.name, got, baseline[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// resultKey renders a result's partitions, uncovered set, and cost into
+// a comparable string (NodesVisited/FitChecks are scheduling-dependent
+// statistics and excluded for exhaustive runs).
+func resultKey(g *graph.Graph, res *Result) string {
+	s := fmt.Sprintf("cost=%d covered=%d\n", res.Cost(), res.Covered())
+	for _, p := range res.Partitions {
+		for _, id := range p.Sorted() {
+			s += g.Name(id) + " "
+		}
+		s += "\n"
+	}
+	for _, id := range res.Uncovered {
+		s += "u:" + g.Name(id) + " "
+	}
+	return s
+}
+
+// TestRegistryConcurrent exercises the registry's read paths while new
+// algorithms register, under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-test-algo-%d", w)
+			err := Register(PartitionerFunc{name, func(g *graph.Graph, c Constraints, opts Options) (*Result, error) {
+				return &Result{Algorithm: name}, nil
+			}})
+			if err != nil {
+				t.Errorf("register %s: %v", name, err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if LookupAlgorithm(name) == nil {
+					t.Errorf("%s vanished from registry", name)
+					return
+				}
+				found := false
+				for _, n := range Algorithms() {
+					if n == name {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s not listed by Algorithms()", name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

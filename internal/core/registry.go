@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,11 @@ import (
 // supply. Each algorithm reads only its own field; the zero value runs
 // every algorithm with its defaults.
 type Options struct {
+	// Ctx, when non-nil, allows cancelling a partitioning run (the
+	// service layer uses it to bound request latency). Partition checks
+	// it before dispatch, and long-running algorithms (the exhaustive
+	// search) observe it during the run. Nil means context.Background().
+	Ctx context.Context
 	// PareDown tunes the decomposition heuristic ("paredown").
 	PareDown PareDownOptions
 	// Exhaustive tunes the optimal search ("exhaustive").
@@ -98,6 +104,11 @@ func Partition(g *graph.Graph, algo string, c Constraints, opts Options) (*Resul
 	if p == nil {
 		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", algo, Algorithms())
 	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return p.Partition(g, c, opts)
 }
 
@@ -111,7 +122,11 @@ func init() {
 		return PareDown(g, c, opts.PareDown)
 	}}))
 	must(Register(PartitionerFunc{"exhaustive", func(g *graph.Graph, c Constraints, opts Options) (*Result, error) {
-		return Exhaustive(g, c, opts.Exhaustive)
+		eo := opts.Exhaustive
+		if eo.Ctx == nil {
+			eo.Ctx = opts.Ctx
+		}
+		return Exhaustive(g, c, eo)
 	}}))
 	must(Register(PartitionerFunc{"aggregation", func(g *graph.Graph, c Constraints, opts Options) (*Result, error) {
 		return Aggregation(g, c)

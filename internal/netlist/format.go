@@ -141,15 +141,8 @@ func parseBlock(d *Design, lines []string, ln int) (int, error) {
 		params[f[:eq]] = v
 	}
 
-	// Auto-register ProgNxM types absent from the catalog so serialized
-	// synthesized designs can be reloaded against a plain catalog.
-	if d.reg.Lookup(typeName) == nil {
-		var nin, nout int
-		if n, _ := fmt.Sscanf(typeName, "Prog%dx%d", &nin, &nout); n == 2 && nin > 0 && nout > 0 {
-			if err := d.reg.Register(block.ProgrammableType(nin, nout)); err != nil {
-				return 0, fmt.Errorf("netlist: line %d: %v", ln+1, err)
-			}
-		}
+	if err := ensureProgType(d.reg, typeName); err != nil {
+		return 0, fmt.Errorf("netlist: line %d: %v", ln+1, err)
 	}
 
 	id, err := d.AddBlockWithParams(name, typeName, params)
@@ -214,6 +207,20 @@ func parseConnect(d *Design, line string, ln int) error {
 	}
 	if err := d.Connect(from[0], from[1], to[0], to[1]); err != nil {
 		return fmt.Errorf("netlist: line %d: %v", ln+1, err)
+	}
+	return nil
+}
+
+// ensureProgType auto-registers ProgNxM types absent from the catalog
+// so serialized synthesized designs can be reloaded against a plain
+// catalog. Non-Prog names are left alone (AddBlock reports them).
+func ensureProgType(reg *block.Registry, typeName string) error {
+	if reg.Lookup(typeName) != nil {
+		return nil
+	}
+	var nin, nout int
+	if n, _ := fmt.Sscanf(typeName, "Prog%dx%d", &nin, &nout); n == 2 && nin > 0 && nout > 0 {
+		return reg.Ensure(block.ProgrammableType(nin, nout))
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/behavior"
+)
+
+// Fingerprint returns a canonical content hash of the design: a
+// SHA-256 over the design name, every block (type, kind, sorted
+// parameter overrides, and program override when present), and every
+// wire. Blocks and wires are hashed in sorted order, so the
+// fingerprint is independent of construction order: two designs that
+// describe the same network hash identically even if their blocks were
+// added in different sequences. The service layer uses the fingerprint
+// as the content address of synthesis results.
+func Fingerprint(d *Design) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "eblocks-design-v1\nname %s\n", d.Name)
+
+	g := d.Graph()
+	blocks := make([]string, 0, g.NumNodes())
+	for _, id := range g.NodeIDs() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "block %s %s %s", g.Name(id), d.Type(id).Name, d.Type(id).Kind)
+		params := d.Params(id)
+		if len(params) > 0 {
+			keys := make([]string, 0, len(params))
+			for k := range params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%d", k, params[k])
+			}
+		}
+		if d.HasProgramOverride(id) {
+			fmt.Fprintf(&b, "\nprogram %s %q", g.Name(id), behavior.Format(d.Program(id)))
+		}
+		blocks = append(blocks, b.String())
+	}
+	sort.Strings(blocks)
+	for _, b := range blocks {
+		fmt.Fprintf(h, "%s\n", b)
+	}
+
+	wires := make([]string, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		wires = append(wires, fmt.Sprintf("wire %s.%s -> %s.%s",
+			g.Name(e.From.Node), d.Type(e.From.Node).Outputs[e.From.Pin],
+			g.Name(e.To.Node), d.Type(e.To.Node).Inputs[e.To.Pin]))
+	}
+	sort.Strings(wires)
+	for _, w := range wires {
+		fmt.Fprintf(h, "%s\n", w)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,88 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	seen := map[string]string{}
+	for _, e := range designs.Library() {
+		d := e.Build()
+		fp := netlist.Fingerprint(d)
+		if len(fp) != 64 {
+			t.Fatalf("%s: fingerprint %q is not a sha256 hex digest", e.Name, fp)
+		}
+		// Two independent builds of the same design hash identically.
+		if got := netlist.Fingerprint(e.Build()); got != fp {
+			t.Errorf("%s: rebuild changed fingerprint: %s vs %s", e.Name, fp, got)
+		}
+		// Clones hash identically.
+		if got := netlist.Fingerprint(netlist.Clone(d)); got != fp {
+			t.Errorf("%s: clone changed fingerprint", e.Name)
+		}
+		// Distinct designs hash distinctly.
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %s and %s", prev, e.Name)
+		}
+		seen[fp] = e.Name
+	}
+}
+
+// TestFingerprintOrderIndependent builds the same two-gate network with
+// blocks added in opposite orders; the fingerprints must agree.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	build := func(reversed bool) *netlist.Design {
+		d := netlist.NewDesign("order", block.Standard())
+		names := [][2]string{{"s", "Button"}, {"n", "Not"}, {"led", "LED"}}
+		if reversed {
+			for i := len(names) - 1; i >= 0; i-- {
+				d.MustAddBlock(names[i][0], names[i][1])
+			}
+		} else {
+			for _, n := range names {
+				d.MustAddBlock(n[0], n[1])
+			}
+		}
+		d.MustConnect("s", "y", "n", "a")
+		d.MustConnect("n", "y", "led", "a")
+		return d
+	}
+	if a, b := netlist.Fingerprint(build(false)), netlist.Fingerprint(build(true)); a != b {
+		t.Errorf("fingerprint depends on insertion order: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *netlist.Design {
+		d := netlist.NewDesign("sens", block.Standard())
+		d.MustAddBlock("s", "Button")
+		d.MustAddBlockWithParams("pg", "PulseGen", map[string]int64{"WIDTH": 1000})
+		d.MustAddBlock("led", "LED")
+		d.MustConnect("s", "y", "pg", "a")
+		d.MustConnect("pg", "y", "led", "a")
+		return d
+	}
+	fp := netlist.Fingerprint(base())
+
+	// A parameter change alters the hash.
+	d := base()
+	d2 := netlist.NewDesign("sens", block.Standard())
+	d2.MustAddBlock("s", "Button")
+	d2.MustAddBlockWithParams("pg", "PulseGen", map[string]int64{"WIDTH": 2000})
+	d2.MustAddBlock("led", "LED")
+	d2.MustConnect("s", "y", "pg", "a")
+	d2.MustConnect("pg", "y", "led", "a")
+	if netlist.Fingerprint(d2) == fp {
+		t.Error("parameter change did not alter fingerprint")
+	}
+
+	// A rename alters the hash (the name is part of the wire form).
+	d.Name = "other"
+	if netlist.Fingerprint(d) == fp {
+		t.Error("design rename did not alter fingerprint")
+	}
+}

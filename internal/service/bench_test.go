@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/randgen"
+)
+
+// benchDesign builds the workload for the cache benchmarks: a random
+// design large enough that cold synthesis visibly dominates a cache
+// lookup.
+func benchDesign(tb testing.TB) *netlist.Design {
+	tb.Helper()
+	d, err := randgen.Generate(randgen.Params{InnerBlocks: 120, Seed: 42})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkServiceCold measures a full cold synthesis per iteration
+// (fresh cache every time).
+func BenchmarkServiceCold(b *testing.B) {
+	d := benchDesign(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{})
+		if _, _, err := s.Synthesize(context.Background(), Request{Design: d}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceWarm measures a cache hit per iteration: the content
+// fingerprint plus an LRU lookup.
+func BenchmarkServiceWarm(b *testing.B) {
+	d := benchDesign(b)
+	s := New(Config{})
+	if _, _, err := s.Synthesize(context.Background(), Request{Design: d}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := s.Synthesize(context.Background(), Request{Design: d})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("warm iteration missed the cache")
+		}
+	}
+}
+
+// TestWarmCacheSpeedup asserts the PR's acceptance criterion: a warm
+// cache hit is at least 10x faster than a cold synthesis. Medians of
+// several runs keep the comparison robust to scheduler noise.
+func TestWarmCacheSpeedup(t *testing.T) {
+	d := benchDesign(t)
+	const reps = 5
+
+	median := func(runs []time.Duration) time.Duration {
+		sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+		return runs[len(runs)/2]
+	}
+
+	cold := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := New(Config{})
+		start := time.Now()
+		if _, _, err := s.Synthesize(context.Background(), Request{Design: d}); err != nil {
+			t.Fatal(err)
+		}
+		cold = append(cold, time.Since(start))
+	}
+
+	s := New(Config{})
+	if _, _, err := s.Synthesize(context.Background(), Request{Design: d}); err != nil {
+		t.Fatal(err)
+	}
+	warm := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		_, hit, err := s.Synthesize(context.Background(), Request{Design: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatal("warm run missed the cache")
+		}
+		warm = append(warm, time.Since(start))
+	}
+
+	mc, mw := median(cold), median(warm)
+	t.Logf("cold median %v, warm median %v (%.1fx)", mc, mw, float64(mc)/float64(mw))
+	if mc < 10*mw {
+		t.Errorf("warm cache hit not >=10x faster: cold %v vs warm %v", mc, mw)
+	}
+}

@@ -1,0 +1,49 @@
+package service
+
+import "container/list"
+
+// lru is a plain LRU map from cache key to *Response. It is not
+// goroutine-safe; the Service serializes access under its mutex.
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *Response
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached response and promotes the entry.
+func (c *lru) get(key string) (*Response, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lru) add(key string, val *Response) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }

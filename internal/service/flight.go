@@ -1,0 +1,83 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightGroup combines the LRU result cache with single-flight request
+// coalescing: for a given key, at most one synthesis runs at a time;
+// concurrent requests for the same key wait for it and share its
+// result. The cache and in-flight table share one mutex, so the
+// check-cache / join-flight / start-flight decision is atomic.
+type flightGroup struct {
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  *Response
+	err  error
+}
+
+// flightSource says how a do() call obtained its result.
+type flightSource int
+
+const (
+	// srcComputed: this call ran fn itself (a cache miss).
+	srcComputed flightSource = iota
+	// srcCache: served from the LRU.
+	srcCache
+	// srcCoalesced: joined another call's in-flight run.
+	srcCoalesced
+)
+
+// do returns the response for key, computing it with fn on a miss.
+func (g *flightGroup) do(key string, fn func() (*Response, error)) (*Response, flightSource, error) {
+	g.mu.Lock()
+	if v, ok := g.cache.get(key); ok {
+		g.mu.Unlock()
+		return v, srcCache, nil
+	}
+	if fl, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-fl.done
+		// A flight that errored does not populate the cache, so
+		// waiters propagate the same error.
+		return fl.val, srcCoalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.inflight[key] = fl
+	g.mu.Unlock()
+
+	// Cleanup runs deferred so a panicking fn (recovered upstream by
+	// net/http's handler recovery) cannot leave the key wedged in the
+	// inflight table with an unclosed done channel; the panic itself
+	// still propagates, and waiters see errFlightPanicked.
+	defer func() {
+		if fl.err == nil && fl.val == nil {
+			fl.err = errFlightPanicked
+		}
+		g.mu.Lock()
+		delete(g.inflight, key)
+		if fl.err == nil {
+			g.cache.add(key, fl.val)
+		}
+		g.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = fn()
+	return fl.val, srcComputed, fl.err
+}
+
+// errFlightPanicked is what coalesced waiters receive when the request
+// that ran the synthesis panicked instead of returning.
+var errFlightPanicked = errors.New("service: synthesis aborted by panic in a concurrent identical request")
+
+func (g *flightGroup) cacheLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cache.len()
+}

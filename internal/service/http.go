@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// maxRequestBody bounds request payloads (a 465-inner-block design
+// serializes to well under 1 MB; 16 MB leaves generous headroom).
+const maxRequestBody = 16 << 20
+
+// JSONRequest is the wire form of a synthesis/partition request. The
+// design is given either in the netlist JSON wire form ("design") or
+// as .ebk source ("ebk") — exactly one of the two.
+type JSONRequest struct {
+	Design     json.RawMessage `json:"design,omitempty"`
+	EBK        string          `json:"ebk,omitempty"`
+	Algorithm  string          `json:"algorithm,omitempty"`
+	MaxInputs  int             `json:"maxInputs,omitempty"`
+	MaxOutputs int             `json:"maxOutputs,omitempty"`
+	PaperMode  bool            `json:"paperMode,omitempty"`
+}
+
+// BatchRequest is the wire form of a batch synthesis request.
+type BatchRequest struct {
+	Requests []JSONRequest `json:"requests"`
+}
+
+// BatchResponse is the wire form of a batch synthesis result,
+// index-aligned with the request list.
+type BatchResponse struct {
+	Responses []*Response `json:"responses"`
+}
+
+// toRequest decodes the design payload against a fresh standard
+// catalog.
+func (jr JSONRequest) toRequest() (Request, error) {
+	var (
+		d   *netlist.Design
+		err error
+	)
+	switch {
+	case len(jr.Design) > 0 && jr.EBK != "":
+		return Request{}, fmt.Errorf("give either \"design\" (JSON) or \"ebk\" (text), not both")
+	case len(jr.Design) > 0:
+		d, err = netlist.UnmarshalJSON(jr.Design, block.Standard())
+	case jr.EBK != "":
+		d, err = netlist.Parse(jr.EBK, block.Standard())
+	default:
+		return Request{}, fmt.Errorf("request has no design: set \"design\" (JSON) or \"ebk\" (text)")
+	}
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{
+		Design:      d,
+		Algorithm:   jr.Algorithm,
+		Constraints: core.Constraints{MaxInputs: jr.MaxInputs, MaxOutputs: jr.MaxOutputs},
+		PaperMode:   jr.PaperMode,
+	}, nil
+}
+
+// Handler returns the eblocksd HTTP API over this service:
+//
+//	POST /v1/synthesize  — synthesize one design (cached)
+//	POST /v1/partition   — partition only, no merge/emit
+//	POST /v1/batch       — synthesize many designs over the worker pool
+//	GET  /v1/algorithms  — registered partitioner names
+//	GET  /v1/stats       — service counters and latency quantiles
+//	GET  /healthz        — liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		jr, ok := decodeRequest(w, r)
+		if !ok {
+			return
+		}
+		req, err := jr.toRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, cached, err := s.Synthesize(r.Context(), req)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if cached {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
+		jr, ok := decodeRequest(w, r)
+		if !ok {
+			return
+		}
+		req, err := jr.toRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := s.Partition(r.Context(), req)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var br BatchRequest
+		if !decodeInto(w, r, &br) {
+			return
+		}
+		reqs := make([]Request, len(br.Requests))
+		for i, jr := range br.Requests {
+			req, err := jr.toRequest()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			reqs[i] = req
+		}
+		resps, err := s.SynthesizeAll(r.Context(), reqs)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, BatchResponse{Responses: resps})
+	})
+	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string][]string{"algorithms": core.Algorithms()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (JSONRequest, bool) {
+	var jr JSONRequest
+	ok := decodeInto(w, r, &jr)
+	return jr, ok
+}
+
+// decodeInto admits a POST body (size-capped) into v, writing the
+// error response itself when admission fails.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

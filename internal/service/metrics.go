@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request durations the latency
+// quantiles are computed over.
+const latencyWindow = 4096
+
+// metrics accumulates service counters and a sliding window of request
+// latencies. All methods are goroutine-safe.
+type metrics struct {
+	mu        sync.Mutex
+	requests  uint64
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	errors    uint64
+	lat       []time.Duration // ring buffer, latencyWindow capacity
+	latNext   int
+}
+
+func (m *metrics) observe(d time.Duration, outcome outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	switch outcome {
+	case outcomeHit:
+		m.hits++
+	case outcomeMiss:
+		m.misses++
+	case outcomeCoalesced:
+		m.coalesced++
+	case outcomeError:
+		m.errors++
+	}
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, d)
+	} else {
+		m.lat[m.latNext] = d
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+}
+
+type outcome int
+
+const (
+	outcomeHit outcome = iota
+	outcomeMiss
+	outcomeCoalesced
+	outcomeError
+	// outcomeUncached: a successful request outside the cache's scope
+	// (partition-only); counted in Requests but not as a hit or miss.
+	outcomeUncached
+)
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Requests counts synthesize/batch/partition requests served.
+	Requests uint64 `json:"requests"`
+	// CacheHits/CacheMisses split cacheable requests by outcome;
+	// Coalesced counts requests that joined an identical in-flight
+	// synthesis instead of running their own (single-flight).
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	Coalesced   uint64 `json:"coalesced"`
+	// Errors counts requests that failed.
+	Errors uint64 `json:"errors"`
+	// CacheEntries is the current number of cached results.
+	CacheEntries int `json:"cacheEntries"`
+	// P50/P99 are request latency quantiles over a sliding window of
+	// recent requests, in nanoseconds.
+	P50 time.Duration `json:"p50Nanos"`
+	P99 time.Duration `json:"p99Nanos"`
+}
+
+// snapshot computes the quantiles over the current window.
+func (m *metrics) snapshot(cacheEntries int) Stats {
+	m.mu.Lock()
+	lat := make([]time.Duration, len(m.lat))
+	copy(lat, m.lat)
+	st := Stats{
+		Requests:     m.requests,
+		CacheHits:    m.hits,
+		CacheMisses:  m.misses,
+		Coalesced:    m.coalesced,
+		Errors:       m.errors,
+		CacheEntries: cacheEntries,
+	}
+	m.mu.Unlock()
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.P50 = lat[len(lat)/2]
+		st.P99 = lat[len(lat)*99/100]
+	}
+	return st
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Response is the wire form of a completed synthesis: the machine-
+// readable schema shared by the eblocksd HTTP API and eblocksynth
+// -json. Responses are fully deterministic for a given request, which
+// is what makes them cacheable byte-for-byte. The embedded
+// PartitionResponse inlines the partitioning summary fields.
+type Response struct {
+	PartitionResponse
+	// Synthesized is the optimized design in the netlist JSON wire
+	// form (netlist.MarshalJSON / netlist.UnmarshalJSON).
+	Synthesized json.RawMessage `json:"synthesized"`
+	// SynthesizedEBK is the optimized design in the .ebk text format.
+	SynthesizedEBK string `json:"synthesizedEbk"`
+	// CSource maps programmable block name to generated C firmware.
+	CSource map[string]string `json:"cSource"`
+}
+
+// PartitionResponse is the wire form of a partitioning summary: the
+// full response of /v1/partition and the summary half of Response.
+type PartitionResponse struct {
+	// DesignHash is the content address of the input design (see
+	// netlist.Fingerprint).
+	DesignHash string `json:"designHash"`
+	// Design is the input design's name.
+	Design string `json:"design"`
+	// Algorithm is the partitioner that ran.
+	Algorithm string `json:"algorithm"`
+	// Constraints echo the effective programmable-block budget.
+	Constraints Constraints `json:"constraints"`
+	// InnerBefore/InnerAfter are the paper's Inner Blocks (Original)
+	// and Inner Blocks (Total) metrics.
+	InnerBefore int `json:"innerBlocksBefore"`
+	InnerAfter  int `json:"innerBlocksAfter"`
+	// FitChecks counts candidate feasibility evaluations.
+	FitChecks int `json:"fitChecks"`
+	// Partitions describes each programmable block introduced.
+	Partitions []Partition `json:"partitions"`
+	// Uncovered lists inner blocks left as pre-defined blocks.
+	Uncovered []string `json:"uncovered,omitempty"`
+}
+
+// partitionSummary builds the summary shared by both response forms.
+func partitionSummary(ca *synth.Captured, res *core.Result) PartitionResponse {
+	return PartitionResponse{
+		DesignHash:  netlist.Fingerprint(ca.Design),
+		Design:      ca.Design.Name,
+		Algorithm:   ca.Algorithm,
+		Constraints: constraintsJSON(ca.Constraints),
+		InnerBefore: len(ca.Design.Graph().InnerNodes()),
+		InnerAfter:  res.Cost(),
+		FitChecks:   res.FitChecks,
+		Partitions:  partitionsJSON(ca.Design, res),
+		Uncovered:   uncoveredNames(ca.Design, res),
+	}
+}
+
+// Constraints is the wire form of the programmable-block budget.
+type Constraints struct {
+	MaxInputs  int  `json:"maxInputs"`
+	MaxOutputs int  `json:"maxOutputs"`
+	PaperMode  bool `json:"paperMode"`
+}
+
+// Partition describes one programmable block of the result.
+type Partition struct {
+	// Block is the programmable block's instance name (p0, p1, ...).
+	Block string `json:"block"`
+	// Inputs/Outputs are the partition's external I/O demand.
+	Inputs  int `json:"inputs"`
+	Outputs int `json:"outputs"`
+	// Members lists the original blocks the partition absorbed.
+	Members []string `json:"members"`
+}
+
+// NewResponse builds the wire form of a synthesis output. ca must be
+// the capture artifact the output was produced from.
+func NewResponse(out *synth.Output, ca *synth.Captured) (*Response, error) {
+	raw, err := netlist.MarshalJSON(out.Synthesized)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		PartitionResponse: partitionSummary(ca, out.Result),
+		Synthesized:       raw,
+		SynthesizedEBK:    netlist.Serialize(out.Synthesized),
+		CSource:           out.CSource,
+	}, nil
+}
+
+func constraintsJSON(c core.Constraints) Constraints {
+	return Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs, PaperMode: !c.RequireConvex}
+}
+
+func partitionsJSON(d *netlist.Design, res *core.Result) []Partition {
+	g := d.Graph()
+	out := make([]Partition, len(res.Partitions))
+	for i, p := range res.Partitions {
+		io := core.PartitionIO(g, p)
+		pj := Partition{
+			Block:   "p" + strconv.Itoa(i),
+			Inputs:  io.Inputs,
+			Outputs: io.Outputs,
+		}
+		for _, id := range p.Sorted() {
+			pj.Members = append(pj.Members, g.Name(id))
+		}
+		out[i] = pj
+	}
+	return out
+}
+
+func uncoveredNames(d *netlist.Design, res *core.Result) []string {
+	g := d.Graph()
+	out := make([]string, 0, len(res.Uncovered))
+	for _, id := range res.Uncovered {
+		out = append(out, g.Name(id))
+	}
+	return out
+}

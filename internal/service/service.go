@@ -1,0 +1,197 @@
+// Package service is the production front-end of the synthesis
+// pipeline: a content-addressed, single-flight LRU result cache over
+// internal/synth plus a batch API that fans many designs out across the
+// bench worker pool. Results are keyed on (design fingerprint,
+// constraints, algorithm), so identical requests — from any client, in
+// any order — synthesize once and then serve from memory, byte-for-byte
+// identical to the cold run. cmd/eblocksd serves this package over
+// HTTP; see http.go for the wire schema.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// CacheSize is the maximum number of cached synthesis results
+	// (default 256). Each entry holds one Response.
+	CacheSize int
+	// Workers bounds the batch API's worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize <= 0 {
+		return 256
+	}
+	return c.CacheSize
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Service synthesizes designs with result caching. Safe for concurrent
+// use.
+type Service struct {
+	cfg Config
+
+	group flightGroup
+	stats metrics
+	// sem bounds concurrent batch synthesis work across ALL
+	// SynthesizeAll calls, so parallel /v1/batch requests cannot
+	// multiply the worker pool past Config.Workers.
+	sem chan struct{}
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.workers())}
+	s.group.cache = newLRU(cfg.cacheSize())
+	s.group.inflight = map[string]*flight{}
+	return s
+}
+
+// Request names one synthesis job: a design plus the knobs that affect
+// its outcome. The zero values mean the paper's setup (2x2 block,
+// PareDown, convexity guard on).
+type Request struct {
+	// Design is the input network.
+	Design *netlist.Design
+	// Algorithm is a core registry name; "" means "paredown".
+	Algorithm string
+	// Constraints of the programmable block; zero means the paper's
+	// 2x2.
+	Constraints core.Constraints
+	// PaperMode disables the convexity guard (see synth.Options).
+	PaperMode bool
+}
+
+func (r Request) synthOptions() synth.Options {
+	return synth.Options{
+		Constraints: r.Constraints,
+		Algorithm:   synth.Algorithm(r.Algorithm),
+		PaperMode:   r.PaperMode,
+	}
+}
+
+// Synthesize runs (or serves from cache) one synthesis job. The
+// returned bool reports whether the response came from the cache or
+// joined an in-flight identical run; cached responses are byte-for-byte
+// identical to cold ones. The context gates admission (a request whose
+// context is already cancelled fails fast), but a cold run, once
+// started, is completed and cached detached from the originating
+// context — so a client disconnect can never poison the coalesced
+// requests waiting on the same flight.
+func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, bool, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		s.stats.observe(time.Since(start), outcomeError)
+		return nil, false, err
+	}
+	ca, err := synth.Capture(req.Design, req.synthOptions())
+	if err != nil {
+		s.stats.observe(time.Since(start), outcomeError)
+		return nil, false, err
+	}
+	key := cacheKey(ca)
+
+	resp, src, err := s.group.do(key, func() (*Response, error) {
+		pt, err := ca.Partition(context.WithoutCancel(ctx))
+		if err != nil {
+			return nil, err
+		}
+		mg, err := pt.Merge()
+		if err != nil {
+			return nil, err
+		}
+		em, err := mg.Emit()
+		if err != nil {
+			return nil, err
+		}
+		return NewResponse(em.Output(), ca)
+	})
+
+	o := outcomeMiss
+	switch {
+	case err != nil:
+		o = outcomeError
+	case src == srcCache:
+		o = outcomeHit
+	case src == srcCoalesced:
+		o = outcomeCoalesced
+	}
+	s.stats.observe(time.Since(start), o)
+	return resp, src != srcComputed, err
+}
+
+// SynthesizeAll runs a batch of jobs over the bench worker pool,
+// returning responses index-aligned with the requests. The first
+// failing request (by index order) aborts the batch. Duplicate designs
+// inside one batch synthesize once: concurrent identical jobs coalesce
+// onto a single flight. Total synthesis concurrency is bounded by
+// Config.Workers across all concurrent batches, not per call.
+func (s *Service) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Response, error) {
+	out := make([]*Response, len(reqs))
+	err := bench.ParallelFor(len(reqs), s.cfg.workers(), func(i int) error {
+		s.sem <- struct{}{}
+		resp, _, err := s.Synthesize(ctx, reqs[i])
+		<-s.sem
+		if err != nil {
+			return fmt.Errorf("request %d (%s): %w", i, reqs[i].Design.Name, err)
+		}
+		out[i] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Partition runs the capture and partition stages only — no merge, no
+// emit — and reports the partitioning. Partition-only requests are not
+// cached (they are fast and PaperMode results may be unrealizable,
+// which only the merge stage detects).
+func (s *Service) Partition(ctx context.Context, req Request) (*PartitionResponse, error) {
+	start := time.Now()
+	ca, err := synth.Capture(req.Design, req.synthOptions())
+	if err != nil {
+		s.stats.observe(time.Since(start), outcomeError)
+		return nil, err
+	}
+	pt, err := ca.Partition(ctx)
+	if err != nil {
+		s.stats.observe(time.Since(start), outcomeError)
+		return nil, err
+	}
+	resp := partitionSummary(ca, pt.Result)
+	s.stats.observe(time.Since(start), outcomeUncached)
+	return &resp, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return s.stats.snapshot(s.group.cacheLen())
+}
+
+// cacheKey derives the content address of a synthesis job from the
+// capture artifact: the design fingerprint plus every knob that can
+// change the outcome.
+func cacheKey(ca *synth.Captured) string {
+	c := ca.Constraints
+	return fmt.Sprintf("%s|%s|%dx%d|convex=%t",
+		netlist.Fingerprint(ca.Design), ca.Algorithm, c.MaxInputs, c.MaxOutputs, c.RequireConvex)
+}

@@ -1,0 +1,311 @@
+// The staged synthesis pipeline. The paper's Figure 2 flow — capture,
+// partition, code generation, emit, verify — is modeled as five
+// explicit stages, each a pure function from the previous stage's
+// artifact to the next:
+//
+//	Capture   : *netlist.Design + Options  -> *Captured
+//	Partition : *Captured                  -> *Partitioned
+//	Merge     : *Partitioned               -> *Merged
+//	Emit      : *Merged                    -> *Emitted
+//	Verify    : *Emitted                   -> *Verified
+//
+// Artifacts embed their predecessor, so every stage output carries the
+// full provenance of the run. Because stages are pure over their
+// inputs, callers can skip stages (Captured.Adopt brings an external
+// partitioning result into the pipeline), cache stage outputs (the
+// service layer caches Emitted keyed on the design fingerprint), and
+// fan runs out across goroutines (nothing is shared between runs except
+// the read-only input design and its catalog).
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Captured is the first stage artifact: a validated design together
+// with the resolved synthesis parameters (constraints defaulted, the
+// convexity guard applied unless PaperMode, algorithm defaulted).
+type Captured struct {
+	// Design is the input network. Stages treat it as read-only.
+	Design *netlist.Design
+	// Constraints are the effective programmable-block constraints.
+	Constraints core.Constraints
+	// Algorithm is the effective partitioner registry name.
+	Algorithm string
+	// Core carries the per-algorithm tuning knobs.
+	Core core.Options
+}
+
+// Capture validates the design and resolves the run parameters.
+func Capture(d *netlist.Design, opts Options) (*Captured, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	alg := string(opts.Algorithm)
+	if alg == "" {
+		alg = string(PareDown)
+	}
+	return &Captured{
+		Design:      d,
+		Constraints: opts.constraints(),
+		Algorithm:   alg,
+		Core:        opts.Core,
+	}, nil
+}
+
+// Partitioned is the second stage artifact: the capture plus the
+// partitioning result produced by the configured algorithm.
+type Partitioned struct {
+	*Captured
+	Result *core.Result
+}
+
+// Partition runs the configured partitioning algorithm. The context
+// cancels long runs (it reaches the algorithm through core.Options).
+func (ca *Captured) Partition(ctx context.Context) (*Partitioned, error) {
+	co := ca.Core
+	if co.Ctx == nil {
+		co.Ctx = ctx
+	}
+	res, err := core.Partition(ca.Design.Graph(), ca.Algorithm, ca.Constraints, co)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return &Partitioned{Captured: ca, Result: res}, nil
+}
+
+// Adopt wraps an externally produced partitioning result as a
+// Partitioned artifact — the bring-your-own-partitioner path, which
+// skips the Partition stage entirely. Merge still validates the result.
+func (ca *Captured) Adopt(res *core.Result) *Partitioned {
+	return &Partitioned{Captured: ca, Result: res}
+}
+
+// Merged is the third stage artifact: one merged program per partition
+// (paper Section 3.3), with the port maps needed to wire each
+// programmable block, plus the programmable block type they target.
+type Merged struct {
+	*Partitioned
+	// Merges holds the per-partition merge artifacts, indexed like
+	// Result.Partitions.
+	Merges []*codegen.Merged
+	// ProgType is the programmable block type partitions map onto.
+	ProgType *block.Type
+}
+
+// Merge validates the partitioning against the design and merges each
+// partition's behavior trees into one program. A paper-mode result
+// whose contracted block graph is cyclic fails here with
+// ErrUnrealizable.
+func (p *Partitioned) Merge() (*Merged, error) {
+	g := p.Design.Graph()
+	c := p.Constraints
+	ioOnly := core.Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs}
+	if err := p.Result.Validate(g, ioOnly); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	ct, err := g.Contract(p.Result.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if !ct.Acyclic() {
+		return nil, ErrUnrealizable
+	}
+
+	m := &Merged{
+		Partitioned: p,
+		Merges:      make([]*codegen.Merged, len(p.Result.Partitions)),
+		ProgType:    block.ProgrammableType(c.MaxInputs, c.MaxOutputs),
+	}
+	for pi, part := range p.Result.Partitions {
+		mg, err := codegen.MergePartition(p.Design, part)
+		if err != nil {
+			return nil, err
+		}
+		if err := mg.PadPorts(c.MaxInputs, c.MaxOutputs); err != nil {
+			return nil, err
+		}
+		m.Merges[pi] = mg
+	}
+	return m, nil
+}
+
+// Emitted is the fourth stage artifact: the synthesized network, in
+// which every partition has been replaced by one programmable block
+// running its merged program, plus generated C firmware per block.
+type Emitted struct {
+	*Merged
+	// Synthesized is the optimized design.
+	Synthesized *netlist.Design
+	// CSource maps programmable block name (p0, p1, ...) to firmware.
+	CSource map[string]string
+}
+
+// Emit builds the synthesized network: non-partitioned blocks are
+// carried over with their parameters, each partition becomes one
+// programmable block, and all wiring is re-established through the
+// merge port maps.
+func (m *Merged) Emit() (*Emitted, error) {
+	d, g := m.Design, m.Design.Graph()
+
+	// New catalog view: ensure the programmable type exists. Ensure is
+	// atomic, so concurrent pipeline runs sharing a catalog are safe.
+	reg := d.Registry()
+	if err := reg.Ensure(m.ProgType); err != nil {
+		return nil, err
+	}
+
+	nd := netlist.NewDesign(d.Name+"_synth", reg)
+
+	// Ownership of each original node: partition index or absent.
+	owner := map[graph.NodeID]int{}
+	for pi, p := range m.Result.Partitions {
+		pi := pi
+		p.ForEach(func(id graph.NodeID) { owner[id] = pi })
+	}
+
+	// Carry over all non-partitioned blocks with their parameters (and
+	// program overrides, e.g. when re-synthesizing an already
+	// synthesized design).
+	for _, id := range g.NodeIDs() {
+		if _, inPart := owner[id]; inPart {
+			continue
+		}
+		name := g.Name(id)
+		nid, err := nd.AddBlockWithParams(name, d.Type(id).Name, d.Params(id))
+		if err != nil {
+			return nil, fmt.Errorf("synth: carrying block %q: %w", name, err)
+		}
+		if d.HasProgramOverride(id) {
+			if err := nd.SetProgram(nid, d.Program(id).Clone()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Create one programmable block per partition with its merged
+	// program.
+	out := &Emitted{Merged: m, CSource: map[string]string{}}
+	for pi, mg := range m.Merges {
+		name := fmt.Sprintf("p%d", pi)
+		nid, err := nd.AddBlock(name, m.ProgType.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.SetProgram(nid, mg.Program); err != nil {
+			return nil, err
+		}
+		out.CSource[name] = codegen.EmitC(mg.Program, name)
+	}
+
+	// mapSource resolves an original output port to its new endpoint.
+	mapSource := func(p graph.Port) (blockName, portName string, err error) {
+		if pi, inPart := owner[p.Node]; inPart {
+			mg := m.Merges[pi]
+			for j, q := range mg.OutputMap {
+				if q == p {
+					return fmt.Sprintf("p%d", pi), fmt.Sprintf("out%d", j), nil
+				}
+			}
+			return "", "", fmt.Errorf("synth: port %v of partition %d is not exported", p, pi)
+		}
+		return g.Name(p.Node), d.Type(p.Node).Outputs[p.Pin], nil
+	}
+
+	// Wire carried-over blocks' inputs.
+	for _, id := range g.NodeIDs() {
+		if _, inPart := owner[id]; inPart {
+			continue
+		}
+		for pin := 0; pin < g.NumIn(id); pin++ {
+			e := g.Driver(id, pin)
+			if e == nil {
+				continue
+			}
+			srcBlock, srcPort, err := mapSource(e.From)
+			if err != nil {
+				return nil, err
+			}
+			if err := nd.Connect(srcBlock, srcPort, g.Name(id), d.Type(id).Inputs[pin]); err != nil {
+				return nil, fmt.Errorf("synth: wiring %s: %w", g.Name(id), err)
+			}
+		}
+	}
+	// Wire programmable blocks' inputs per their input maps.
+	for pi, mg := range m.Merges {
+		for k, src := range mg.InputMap {
+			srcBlock, srcPort, err := mapSource(src)
+			if err != nil {
+				return nil, err
+			}
+			if err := nd.Connect(srcBlock, srcPort, fmt.Sprintf("p%d", pi), fmt.Sprintf("in%d", k)); err != nil {
+				return nil, fmt.Errorf("synth: wiring p%d: %w", pi, err)
+			}
+		}
+	}
+
+	if err := nd.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: synthesized design invalid: %w", err)
+	}
+	out.Synthesized = nd
+	return out, nil
+}
+
+// Verified is the final stage artifact: the emitted design plus the
+// outcome of the simulation-based equivalence check.
+type Verified struct {
+	*Emitted
+	// Mismatches lists every output disagreement observed; empty means
+	// the designs are behaviorally equivalent on the replayed schedule.
+	Mismatches []Mismatch
+}
+
+// Verify replays shared stimuli on the original and synthesized designs
+// and records output mismatches.
+func (e *Emitted) Verify(opts VerifyOptions) (*Verified, error) {
+	mm, err := Verify(e.Design, e.Synthesized, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Verified{Emitted: e, Mismatches: mm}, nil
+}
+
+// Output converts the emit artifact to the legacy Output form.
+func (e *Emitted) Output() *Output {
+	out := &Output{
+		Synthesized: e.Synthesized,
+		Result:      e.Result,
+		Merged:      make(map[string]*codegen.Merged, len(e.Merges)),
+		CSource:     e.CSource,
+	}
+	for pi, mg := range e.Merges {
+		out.Merged[fmt.Sprintf("p%d", pi)] = mg
+	}
+	return out
+}
+
+// Run executes capture → partition → merge → emit and returns the
+// emitted artifact. Verification is a separate stage the caller opts
+// into (Emitted.Verify).
+func Run(ctx context.Context, d *netlist.Design, opts Options) (*Emitted, error) {
+	ca, err := Capture(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := ca.Partition(ctx)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := pt.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return mg.Emit()
+}

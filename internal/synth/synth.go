@@ -1,19 +1,21 @@
 // Package synth ties the synthesis flow together (paper Section 3.2,
-// Figure 2): a captured design is partitioned (internal/core), each
-// partition's behavior trees are merged (internal/codegen), and a new
-// network is emitted in which every partition has been replaced by a
-// single programmable block running the merged program. The package
-// also provides a simulation-based equivalence check between the
-// original and the synthesized network.
+// Figure 2) as a staged pipeline: a captured design is partitioned
+// (internal/core), each partition's behavior trees are merged
+// (internal/codegen), and a new network is emitted in which every
+// partition has been replaced by a single programmable block running
+// the merged program, with an optional simulation-based equivalence
+// check between the original and the synthesized network. See
+// pipeline.go for the stage artifacts (Captured → Partitioned → Merged
+// → Emitted → Verified); Synthesize and Realize below are thin
+// compatibility wrappers over the pipeline.
 package synth
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/block"
 	"repro/internal/codegen"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/netlist"
 )
 
@@ -44,6 +46,9 @@ type Options struct {
 	// Synthesize returns ErrUnrealizable. Default (false) forces the
 	// guard so synthesis always succeeds.
 	PaperMode bool
+	// Core carries per-algorithm tuning knobs (worker counts, search
+	// bounds, cancellation context) through to the partitioner.
+	Core core.Options
 }
 
 func (o Options) constraints() core.Constraints {
@@ -80,155 +85,28 @@ type Output struct {
 func (o *Output) InnerBlocksAfter() int { return o.Result.Cost() }
 
 // Synthesize partitions the design and builds the optimized network.
+// It is equivalent to Run(context.Background(), d, opts) followed by
+// Output().
 func Synthesize(d *netlist.Design, opts Options) (*Output, error) {
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("synth: %w", err)
-	}
-	c := opts.constraints()
-	g := d.Graph()
-
-	alg := string(opts.Algorithm)
-	if alg == "" {
-		alg = string(PareDown)
-	}
-	res, err := core.Partition(g, alg, c, core.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("synth: %w", err)
-	}
-	return Realize(d, res, c)
-}
-
-// Realize builds the synthesized network for an existing partitioning
-// result (allowing callers to bring their own partitioner).
-func Realize(d *netlist.Design, res *core.Result, c core.Constraints) (*Output, error) {
-	g := d.Graph()
-	if err := res.Validate(g, core.Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs}); err != nil {
-		return nil, fmt.Errorf("synth: %w", err)
-	}
-	ct, err := g.Contract(res.Partitions)
+	em, err := Run(context.Background(), d, opts)
 	if err != nil {
 		return nil, err
 	}
-	if !ct.Acyclic() {
-		return nil, ErrUnrealizable
-	}
+	return em.Output(), nil
+}
 
-	out := &Output{
-		Result:  res,
-		Merged:  map[string]*codegen.Merged{},
-		CSource: map[string]string{},
+// Realize builds the synthesized network for an existing partitioning
+// result (allowing callers to bring their own partitioner): the Adopt →
+// Merge → Emit path of the pipeline, skipping Partition.
+func Realize(d *netlist.Design, res *core.Result, c core.Constraints) (*Output, error) {
+	ca := &Captured{Design: d, Constraints: c, Algorithm: res.Algorithm}
+	m, err := ca.Adopt(res).Merge()
+	if err != nil {
+		return nil, err
 	}
-
-	// New catalog view: ensure the programmable type exists.
-	reg := d.Registry()
-	progType := block.ProgrammableType(c.MaxInputs, c.MaxOutputs)
-	if reg.Lookup(progType.Name) == nil {
-		if err := reg.Register(progType); err != nil {
-			return nil, err
-		}
+	em, err := m.Emit()
+	if err != nil {
+		return nil, err
 	}
-
-	nd := netlist.NewDesign(d.Name+"_synth", reg)
-
-	// Ownership of each original node: partition index or -1.
-	owner := map[graph.NodeID]int{}
-	for pi, p := range res.Partitions {
-		pi := pi
-		p.ForEach(func(id graph.NodeID) { owner[id] = pi })
-	}
-
-	// Carry over all non-partitioned blocks with their parameters (and
-	// program overrides, e.g. when re-synthesizing an already
-	// synthesized design).
-	for _, id := range g.NodeIDs() {
-		if _, inPart := owner[id]; inPart {
-			continue
-		}
-		name := g.Name(id)
-		nid, err := nd.AddBlockWithParams(name, d.Type(id).Name, d.Params(id))
-		if err != nil {
-			return nil, fmt.Errorf("synth: carrying block %q: %w", name, err)
-		}
-		if d.HasProgramOverride(id) {
-			if err := nd.SetProgram(nid, d.Program(id).Clone()); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Create one programmable block per partition with its merged
-	// program.
-	merges := make([]*codegen.Merged, len(res.Partitions))
-	for pi, p := range res.Partitions {
-		m, err := codegen.MergePartition(d, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.PadPorts(c.MaxInputs, c.MaxOutputs); err != nil {
-			return nil, err
-		}
-		name := fmt.Sprintf("p%d", pi)
-		nid, err := nd.AddBlock(name, progType.Name)
-		if err != nil {
-			return nil, err
-		}
-		if err := nd.SetProgram(nid, m.Program); err != nil {
-			return nil, err
-		}
-		merges[pi] = m
-		out.Merged[name] = m
-		out.CSource[name] = codegen.EmitC(m.Program, name)
-	}
-
-	// mapSource resolves an original output port to its new endpoint.
-	mapSource := func(p graph.Port) (blockName, portName string, err error) {
-		if pi, inPart := owner[p.Node]; inPart {
-			m := merges[pi]
-			for j, q := range m.OutputMap {
-				if q == p {
-					return fmt.Sprintf("p%d", pi), fmt.Sprintf("out%d", j), nil
-				}
-			}
-			return "", "", fmt.Errorf("synth: port %v of partition %d is not exported", p, pi)
-		}
-		return g.Name(p.Node), d.Type(p.Node).Outputs[p.Pin], nil
-	}
-
-	// Wire carried-over blocks' inputs.
-	for _, id := range g.NodeIDs() {
-		if _, inPart := owner[id]; inPart {
-			continue
-		}
-		for pin := 0; pin < g.NumIn(id); pin++ {
-			e := g.Driver(id, pin)
-			if e == nil {
-				continue
-			}
-			srcBlock, srcPort, err := mapSource(e.From)
-			if err != nil {
-				return nil, err
-			}
-			if err := nd.Connect(srcBlock, srcPort, g.Name(id), d.Type(id).Inputs[pin]); err != nil {
-				return nil, fmt.Errorf("synth: wiring %s: %w", g.Name(id), err)
-			}
-		}
-	}
-	// Wire programmable blocks' inputs per their input maps.
-	for pi, m := range merges {
-		for k, src := range m.InputMap {
-			srcBlock, srcPort, err := mapSource(src)
-			if err != nil {
-				return nil, err
-			}
-			if err := nd.Connect(srcBlock, srcPort, fmt.Sprintf("p%d", pi), fmt.Sprintf("in%d", k)); err != nil {
-				return nil, fmt.Errorf("synth: wiring p%d: %w", pi, err)
-			}
-		}
-	}
-
-	if err := nd.Validate(); err != nil {
-		return nil, fmt.Errorf("synth: synthesized design invalid: %w", err)
-	}
-	out.Synthesized = nd
-	return out, nil
+	return em.Output(), nil
 }
