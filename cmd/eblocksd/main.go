@@ -1,11 +1,13 @@
 // Command eblocksd serves the synthesis pipeline over HTTP: a
-// concurrent front-end with a content-addressed result cache, so
-// repeated synthesis of the same design is served from memory. JSON
-// in, JSON out, reusing the netlist JSON wire form.
+// concurrent front-end with a two-tier content-addressed result cache
+// — an in-process LRU over an optional persistent disk store — so
+// repeated synthesis of the same design is served from memory, and a
+// restarted server keeps serving byte-identical responses from disk.
+// JSON in, JSON out, reusing the netlist JSON wire form.
 //
 // Usage:
 //
-//	eblocksd -addr :8080 -cache 512
+//	eblocksd -addr :8080 -cache 512 -store-dir /var/lib/eblocksd -store-max-bytes 268435456
 //
 // Endpoints:
 //
@@ -15,6 +17,10 @@
 //	GET  /v1/algorithms
 //	GET  /v1/stats
 //	GET  /healthz
+//
+// Synthesize and partition responses carry an X-Cache header naming
+// the tier that served them: "memory", "disk" or "miss". See
+// docs/API.md for the full HTTP reference.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting (graceful shutdown, 10 s grace period).
@@ -33,17 +39,34 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", 256, "result cache capacity (entries)")
-		workers   = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache", 256, "in-memory result cache capacity (entries)")
+		workers       = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		storeDir      = flag.String("store-dir", "", "directory for the persistent artifact store (empty = memory-only caching)")
+		storeMaxBytes = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "disk budget for the artifact store; least recently used entries are evicted beyond it")
+		storeMemBytes = flag.Int64("store-mem-bytes", store.DefaultMemBytes, "budget for the store's own memory tier (serves stage artifacts and post-eviction responses; -1 disables it, leaving -cache as the only memory tier)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes, MemBytes: *storeMemBytes})
+		if err != nil {
+			log.Fatalf("eblocksd: opening store: %v", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		stats := st.Stats()
+		log.Printf("eblocksd: artifact store at %s (%d entries, %d bytes, budget %d)",
+			*storeDir, stats.Entries, stats.BytesUsed, *storeMaxBytes)
+	}
+
+	svc := service.New(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -74,6 +97,6 @@ func main() {
 	}
 
 	st := svc.Stats()
-	fmt.Fprintf(os.Stderr, "eblocksd: served %d requests (%d cache hits, %d coalesced, %d errors), p50 %v p99 %v\n",
-		st.Requests, st.CacheHits, st.Coalesced, st.Errors, st.P50, st.P99)
+	fmt.Fprintf(os.Stderr, "eblocksd: served %d requests (%d memory hits, %d disk hits, %d coalesced, %d errors), p50 %v p99 %v\n",
+		st.Requests, st.MemoryHits, st.DiskHits, st.Coalesced, st.Errors, st.P50, st.P99)
 }

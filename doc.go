@@ -1,0 +1,28 @@
+// Package eblocks is the public API of this reproduction of
+// R. Mannion, H. Hsieh, S. Cotterell, F. Vahid, "System Synthesis for
+// Networks of Programmable Blocks" (DATE 2005).
+//
+// The package re-exports the full tool chain: design capture
+// (netlist builder + .ebk text format), behavioral simulation,
+// partitioning (the PareDown decomposition heuristic, optimal
+// exhaustive search, and an aggregation baseline), code generation
+// (syntax-tree merging and C emission), and the experiment harness
+// that regenerates the paper's Tables 1 and 2.
+//
+// Quick start:
+//
+//	d := eblocks.NewDesign("garage", eblocks.StandardBlocks())
+//	d.MustAddBlock("door", "ContactSwitch")
+//	d.MustAddBlock("light", "LightSensor")
+//	d.MustAddBlock("dark", "Not")
+//	d.MustAddBlock("both", "And2")
+//	d.MustAddBlock("led", "LED")
+//	d.MustConnect("door", "y", "both", "a")
+//	d.MustConnect("light", "y", "dark", "a")
+//	d.MustConnect("dark", "y", "both", "b")
+//	d.MustConnect("both", "y", "led", "a")
+//
+//	out, err := eblocks.Synthesize(d, eblocks.SynthOptions{})
+//	// out.Synthesized now uses one programmable block instead of two
+//	// pre-defined blocks; out.CSource holds its PIC firmware.
+package eblocks

@@ -1,31 +1,3 @@
-// Package behavior implements the small imperative language in which
-// every eBlock's behavior is written. The paper (Section 3.3) describes
-// block behaviors "defined in a Java-like language that is automatically
-// transformed to a syntax tree"; the code generator then merges the
-// syntax trees of all blocks in a partition into one program. This
-// package provides the language: lexer, parser, abstract syntax tree,
-// static checks, a tree-walking interpreter used by the simulator, and
-// the AST rewriting utilities (identifier substitution, variable
-// renaming, timer re-tagging) that the code generator relies on.
-//
-// A behavior program declares its interface and a run body:
-//
-//	input a, b;
-//	output y;
-//	state v = 0;
-//	param WIDTH = 1000;
-//	run {
-//	    if (rising(a)) { v = !v; }
-//	    y = v && b;
-//	}
-//
-// All values are 64-bit integers; boolean context treats nonzero as
-// true, and boolean operators yield 0 or 1. The builtins rising(x),
-// falling(x) and changed(x) compare an input against its value at the
-// block's previous evaluation; schedule(d) requests a re-evaluation
-// after d milliseconds; the identifier `timer` is 1 when the current
-// evaluation was caused by such a timer; now() is the current simulation
-// time in milliseconds.
 package behavior
 
 import "fmt"
@@ -33,14 +5,16 @@ import "fmt"
 // TokKind enumerates lexical token kinds.
 type TokKind uint8
 
+// The lexical token kinds produced by the lexer.
 const (
-	TokEOF TokKind = iota
-	TokIdent
-	TokInt
-	TokKeyword
-	TokPunct
+	TokEOF     TokKind = iota // end of input
+	TokIdent                  // identifier
+	TokInt                    // integer literal (true/false lex as 1/0)
+	TokKeyword                // reserved word (input, output, state, ...)
+	TokPunct                  // operator or punctuation
 )
 
+// String names the token kind for diagnostics.
 func (k TokKind) String() string {
 	switch k {
 	case TokEOF:
@@ -92,6 +66,7 @@ type Error struct {
 	Msg string
 }
 
+// Error formats the error with its source position.
 func (e *Error) Error() string { return fmt.Sprintf("behavior: %s: %s", e.Pos, e.Msg) }
 
 func errf(pos Pos, format string, args ...interface{}) error {

@@ -1,9 +1,3 @@
-// Package bench is the experiment harness that regenerates every table
-// and figure of the paper's evaluation (Section 5): Table 1 (the
-// 15-design library), Table 2 (randomly generated designs from 3 to 45
-// inner blocks), the Section 5.2 scaling claim (a 465-inner-block
-// design), and this reproduction's ablation studies (tie-break
-// criteria, aggregation baseline, heterogeneous blocks).
 package bench
 
 import (

@@ -1,8 +1,3 @@
-// Package cli holds the shared, testable logic behind the command-line
-// tools (cmd/eblocksim, cmd/eblocksynth, cmd/eblockgen,
-// cmd/eblockbench): design loading, the simulate and synthesize
-// drivers, and their text reports. The main packages stay thin flag
-// parsers.
 package cli
 
 import (

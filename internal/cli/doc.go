@@ -1,0 +1,6 @@
+// Package cli holds the shared, testable logic behind the command-line
+// tools (cmd/eblocksim, cmd/eblocksynth, cmd/eblockgen,
+// cmd/eblockbench): design loading, the simulate and synthesize
+// drivers, and their text reports. The main packages stay thin flag
+// parsers.
+package cli

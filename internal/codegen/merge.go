@@ -1,22 +1,3 @@
-// Package codegen implements the code-generation step of the synthesis
-// flow (paper Section 3.3): given a partition of pre-defined compute
-// blocks, it merges their behavior syntax trees into one program for a
-// programmable block.
-//
-// Following the paper: each block in the partition is assigned a level
-// (the maximum distance from any sensor block); syntax trees are
-// attached in non-decreasing level order so no tree is evaluated before
-// its producers; tree nodes that access a block's input or output are
-// changed into variable accesses, so communication between two blocks in
-// a partition happens internally via variables; and name conflicts
-// between blocks' internal variables are resolved by renaming.
-//
-// Beyond the paper's narration, merging must also preserve edge
-// detection (a toggle inside a partition still reacts to rising edges of
-// its now-internal input) and timers (two pulse generators merged into
-// one block need distinct timers). Internal edges are rewritten to
-// explicit previous-value state comparisons, and each member's timers
-// are re-tagged with the member's index.
 package codegen
 
 import (

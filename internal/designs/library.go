@@ -1,12 +1,3 @@
-// Package designs reconstructs the 15 real eBlock systems used in the
-// paper's Table 1 experiments. The original library ([8], a UCR web
-// page) is no longer available, so each design is engineered from its
-// name, its published inner-block count, and the published partitioning
-// outcome (which strongly constrains the topology: e.g. "Any Window
-// Open Alarm" has three inner blocks and admits no valid partition, so
-// its gates must be pairwise I/O-infeasible). See EXPERIMENTS.md for
-// the per-design reconstruction notes and the one row we believe is a
-// published erratum.
 package designs
 
 import (

@@ -1,0 +1,16 @@
+// Package graph implements the port-aware directed acyclic graph that
+// underlies every eBlock network representation in this repository.
+//
+// Nodes model blocks: each node has a fixed number of input ports and
+// output ports and a Role that classifies it as a primary input (sensor
+// block), primary output (output block), or inner node (compute block).
+// Edges model wires: an edge connects one output port of a source node
+// to one input port of a destination node. An input port accepts at most
+// one driver; an output port may fan out to any number of destinations.
+//
+// The package provides the structural queries needed by the synthesis
+// flow of Mannion et al. (DATE 2005): topological ordering, the paper's
+// level function (maximum distance from any primary input), border and
+// convexity tests for candidate partitions, and contraction of partition
+// sets used to validate synthesized networks.
+package graph

@@ -1,9 +1,3 @@
-// Package netlist represents an eBlock system design: a set of block
-// instances (each referencing a catalog type, with optional parameter
-// overrides) wired into a DAG. It replaces the paper's Java GUI capture
-// tool (Section 3.1, Figure 3) with a programmatic builder plus a
-// human-readable text format (.ebk) and JSON export, preserving the
-// specification artifact — a block diagram — exactly.
 package netlist
 
 import (

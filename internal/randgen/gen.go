@@ -1,11 +1,3 @@
-// Package randgen implements the randomized eBlock system generator of
-// Section 5.1: the paper's Table 2 runs the partitioning algorithms
-// over thousands of generated designs with 3 to 45 inner blocks. The
-// generator emits structurally plausible eBlock networks: every inner
-// block is a catalog compute block, every input is driven either by a
-// sensor or by an earlier inner block (keeping the network a DAG), and
-// every sink drives an output block, so generated designs validate and
-// simulate.
 package randgen
 
 import (

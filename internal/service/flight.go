@@ -3,13 +3,16 @@ package service
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/store"
 )
 
-// flightGroup combines the LRU result cache with single-flight request
-// coalescing: for a given key, at most one synthesis runs at a time;
-// concurrent requests for the same key wait for it and share its
-// result. The cache and in-flight table share one mutex, so the
-// check-cache / join-flight / start-flight decision is atomic.
+// flightGroup combines the in-memory LRU result cache with
+// single-flight request coalescing: for a given key, at most one
+// synthesis (or disk load) runs at a time; concurrent requests for the
+// same key wait for it and share its result. The cache and in-flight
+// table share one mutex, so the check-cache / join-flight /
+// start-flight decision is atomic.
 type flightGroup struct {
 	mu       sync.Mutex
 	cache    *lru
@@ -26,20 +29,27 @@ type flight struct {
 type flightSource int
 
 const (
-	// srcComputed: this call ran fn itself (a cache miss).
+	// srcComputed: this call ran the synthesis itself (a full miss).
 	srcComputed flightSource = iota
-	// srcCache: served from the LRU.
-	srcCache
+	// srcMemory: served without disk I/O — the in-process LRU or the
+	// persistent store's own memory tier.
+	srcMemory
+	// srcDisk: this call loaded the response from the persistent
+	// store's disk tier.
+	srcDisk
 	// srcCoalesced: joined another call's in-flight run.
 	srcCoalesced
 )
 
-// do returns the response for key, computing it with fn on a miss.
-func (g *flightGroup) do(key string, fn func() (*Response, error)) (*Response, flightSource, error) {
+// do returns the response for key, obtaining it with fn on a memory
+// miss. fn reports the store tier that served it (TierNone when it
+// computed the response); either way the result is promoted to the
+// memory cache.
+func (g *flightGroup) do(key string, fn func() (*Response, store.Tier, error)) (*Response, flightSource, error) {
 	g.mu.Lock()
 	if v, ok := g.cache.get(key); ok {
 		g.mu.Unlock()
-		return v, srcCache, nil
+		return v, srcMemory, nil
 	}
 	if fl, ok := g.inflight[key]; ok {
 		g.mu.Unlock()
@@ -68,7 +78,16 @@ func (g *flightGroup) do(key string, fn func() (*Response, error)) (*Response, f
 		g.mu.Unlock()
 		close(fl.done)
 	}()
-	fl.val, fl.err = fn()
+	var tier store.Tier
+	fl.val, tier, fl.err = fn()
+	if fl.err == nil {
+		switch tier {
+		case store.TierMemory:
+			return fl.val, srcMemory, nil
+		case store.TierDisk:
+			return fl.val, srcDisk, nil
+		}
+	}
 	return fl.val, srcComputed, fl.err
 }
 

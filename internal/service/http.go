@@ -67,12 +67,17 @@ func (jr JSONRequest) toRequest() (Request, error) {
 
 // Handler returns the eblocksd HTTP API over this service:
 //
-//	POST /v1/synthesize  — synthesize one design (cached)
+//	POST /v1/synthesize  — synthesize one design (cached two-tier)
 //	POST /v1/partition   — partition only, no merge/emit
 //	POST /v1/batch       — synthesize many designs over the worker pool
 //	GET  /v1/algorithms  — registered partitioner names
-//	GET  /v1/stats       — service counters and latency quantiles
+//	GET  /v1/stats       — service + store counters, latency quantiles
 //	GET  /healthz        — liveness probe
+//
+// Synthesize and partition responses carry an X-Cache header naming
+// the tier that served them: "memory" (in-process cache), "disk"
+// (persistent store) or "miss" (computed by this request). See
+// docs/API.md for the full reference.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
@@ -85,16 +90,12 @@ func (s *Service) Handler() http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, cached, err := s.Synthesize(r.Context(), req)
+		resp, src, err := s.Synthesize(r.Context(), req)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		if cached {
-			w.Header().Set("X-Cache", "hit")
-		} else {
-			w.Header().Set("X-Cache", "miss")
-		}
+		w.Header().Set("X-Cache", src.String())
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
@@ -107,11 +108,12 @@ func (s *Service) Handler() http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := s.Partition(r.Context(), req)
+		resp, src, err := s.Partition(r.Context(), req)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		w.Header().Set("X-Cache", src.String())
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {

@@ -62,8 +62,8 @@ func TestHTTPSynthesize(t *testing.T) {
 		t.Errorf("first request X-Cache = %q, want miss", got)
 	}
 	httpResp, warm := postJSON(t, ts.URL+"/v1/synthesize", req)
-	if got := httpResp.Header.Get("X-Cache"); got != "hit" {
-		t.Errorf("second request X-Cache = %q, want hit", got)
+	if got := httpResp.Header.Get("X-Cache"); got != "memory" {
+		t.Errorf("second request X-Cache = %q, want memory", got)
 	}
 	if !bytes.Equal(cold, warm) {
 		t.Error("cached HTTP response body differs from cold body")

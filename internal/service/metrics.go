@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // latencyWindow is how many recent request durations the latency
@@ -13,14 +15,15 @@ const latencyWindow = 4096
 // metrics accumulates service counters and a sliding window of request
 // latencies. All methods are goroutine-safe.
 type metrics struct {
-	mu        sync.Mutex
-	requests  uint64
-	hits      uint64
-	misses    uint64
-	coalesced uint64
-	errors    uint64
-	lat       []time.Duration // ring buffer, latencyWindow capacity
-	latNext   int
+	mu         sync.Mutex
+	requests   uint64
+	memoryHits uint64
+	diskHits   uint64
+	misses     uint64
+	coalesced  uint64
+	errors     uint64
+	lat        []time.Duration // ring buffer, latencyWindow capacity
+	latNext    int
 }
 
 func (m *metrics) observe(d time.Duration, outcome outcome) {
@@ -28,8 +31,10 @@ func (m *metrics) observe(d time.Duration, outcome outcome) {
 	defer m.mu.Unlock()
 	m.requests++
 	switch outcome {
-	case outcomeHit:
-		m.hits++
+	case outcomeMemoryHit:
+		m.memoryHits++
+	case outcomeDiskHit:
+		m.diskHits++
 	case outcomeMiss:
 		m.misses++
 	case outcomeCoalesced:
@@ -48,12 +53,14 @@ func (m *metrics) observe(d time.Duration, outcome outcome) {
 type outcome int
 
 const (
-	outcomeHit outcome = iota
+	outcomeMemoryHit outcome = iota
+	outcomeDiskHit
 	outcomeMiss
 	outcomeCoalesced
 	outcomeError
 	// outcomeUncached: a successful request outside the cache's scope
-	// (partition-only); counted in Requests but not as a hit or miss.
+	// (e.g. a partition-only request with no store configured);
+	// counted in Requests but not as a hit or miss.
 	outcomeUncached
 )
 
@@ -61,20 +68,32 @@ const (
 type Stats struct {
 	// Requests counts synthesize/batch/partition requests served.
 	Requests uint64 `json:"requests"`
-	// CacheHits/CacheMisses split cacheable requests by outcome;
-	// Coalesced counts requests that joined an identical in-flight
-	// synthesis instead of running their own (single-flight).
-	CacheHits   uint64 `json:"cacheHits"`
+	// CacheHits totals hits across both tiers (MemoryHits + DiskHits);
+	// kept for clients of the pre-store schema.
+	CacheHits uint64 `json:"cacheHits"`
+	// MemoryHits counts requests served from the in-process response
+	// cache; DiskHits counts requests served from the persistent
+	// store.
+	MemoryHits uint64 `json:"memoryHits"`
+	DiskHits   uint64 `json:"diskHits"`
+	// CacheMisses counts cacheable requests that ran the synthesis
+	// pipeline; Coalesced counts requests that joined an identical
+	// in-flight synthesis instead of running their own
+	// (single-flight).
 	CacheMisses uint64 `json:"cacheMisses"`
 	Coalesced   uint64 `json:"coalesced"`
 	// Errors counts requests that failed.
 	Errors uint64 `json:"errors"`
-	// CacheEntries is the current number of cached results.
+	// CacheEntries is the current number of in-memory cached results.
 	CacheEntries int `json:"cacheEntries"`
 	// P50/P99 are request latency quantiles over a sliding window of
 	// recent requests, in nanoseconds.
 	P50 time.Duration `json:"p50Nanos"`
 	P99 time.Duration `json:"p99Nanos"`
+	// Store carries the persistent store's own counters (entries,
+	// bytes, per-tier hits, evictions); absent when the service runs
+	// memory-only.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // snapshot computes the quantiles over the current window.
@@ -84,7 +103,9 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 	copy(lat, m.lat)
 	st := Stats{
 		Requests:     m.requests,
-		CacheHits:    m.hits,
+		CacheHits:    m.memoryHits + m.diskHits,
+		MemoryHits:   m.memoryHits,
+		DiskHits:     m.diskHits,
 		CacheMisses:  m.misses,
 		Coalesced:    m.coalesced,
 		Errors:       m.errors,

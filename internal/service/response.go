@@ -52,7 +52,9 @@ type PartitionResponse struct {
 // partitionSummary builds the summary shared by both response forms.
 func partitionSummary(ca *synth.Captured, res *core.Result) PartitionResponse {
 	return PartitionResponse{
-		DesignHash:  netlist.Fingerprint(ca.Design),
+		// StageKey memoizes the fingerprint on the capture artifact,
+		// so this does not re-hash the design.
+		DesignHash:  ca.StageKey().Fingerprint,
 		Design:      ca.Design.Name,
 		Algorithm:   ca.Algorithm,
 		Constraints: constraintsJSON(ca.Constraints),

@@ -1,32 +1,32 @@
-// Package service is the production front-end of the synthesis
-// pipeline: a content-addressed, single-flight LRU result cache over
-// internal/synth plus a batch API that fans many designs out across the
-// bench worker pool. Results are keyed on (design fingerprint,
-// constraints, algorithm), so identical requests — from any client, in
-// any order — synthesize once and then serve from memory, byte-for-byte
-// identical to the cold run. cmd/eblocksd serves this package over
-// HTTP; see http.go for the wire schema.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
 // Config tunes a Service.
 type Config struct {
 	// CacheSize is the maximum number of cached synthesis results
-	// (default 256). Each entry holds one Response.
+	// held in memory (default 256). Each entry holds one Response.
 	CacheSize int
 	// Workers bounds the batch API's worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Store, when non-nil, is the persistent second cache tier:
+	// responses and partition-stage artifacts are written through to
+	// it and served from it after a restart (or after memory-tier
+	// eviction). Nil means memory-only caching, as before.
+	Store *store.Store
 }
 
 func (c Config) cacheSize() int {
@@ -46,7 +46,8 @@ func (c Config) workers() int {
 // Service synthesizes designs with result caching. Safe for concurrent
 // use.
 type Service struct {
-	cfg Config
+	cfg   Config
+	store *store.Store
 
 	group flightGroup
 	stats metrics
@@ -54,11 +55,21 @@ type Service struct {
 	// SynthesizeAll calls, so parallel /v1/batch requests cannot
 	// multiply the worker pool past Config.Workers.
 	sem chan struct{}
+	// partMu/partInflight coalesce identical concurrent partition
+	// computations (see Partition): the winner populates the store's
+	// stage cache, waiters block on the channel and then read it.
+	partMu       sync.Mutex
+	partInflight map[string]chan struct{}
 }
 
 // New builds a Service.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.workers())}
+	s := &Service{
+		cfg:          cfg,
+		store:        cfg.Store,
+		sem:          make(chan struct{}, cfg.workers()),
+		partInflight: map[string]chan struct{}{},
+	}
 	s.group.cache = newLRU(cfg.cacheSize())
 	s.group.inflight = map[string]*flight{}
 	return s
@@ -87,54 +98,165 @@ func (r Request) synthOptions() synth.Options {
 	}
 }
 
-// Synthesize runs (or serves from cache) one synthesis job. The
-// returned bool reports whether the response came from the cache or
-// joined an in-flight identical run; cached responses are byte-for-byte
-// identical to cold ones. The context gates admission (a request whose
-// context is already cancelled fails fast), but a cold run, once
-// started, is completed and cached detached from the originating
-// context — so a client disconnect can never poison the coalesced
-// requests waiting on the same flight.
-func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, bool, error) {
+// Source says which cache tier (if any) served a response.
+type Source int
+
+const (
+	// SourceMiss: the response was computed by this request (or by a
+	// concurrent identical request it coalesced onto).
+	SourceMiss Source = iota
+	// SourceMemory: served from the in-process response cache.
+	SourceMemory
+	// SourceDisk: loaded from the persistent store (and promoted to
+	// the memory tier).
+	SourceDisk
+)
+
+// String renders the X-Cache header value: "memory", "disk" or
+// "miss".
+func (s Source) String() string {
+	switch s {
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// Cached reports whether the response was served without running the
+// synthesis pipeline in this process.
+func (s Source) Cached() bool { return s != SourceMiss }
+
+// stageResponse names full synthesis responses in the artifact store;
+// partition artifacts use synth.StagePartitioned. The suffix is the
+// Response schema version: bump it whenever the Response wire form
+// changes shape, so entries persisted by an older binary miss (and
+// are recomputed) instead of being served with stale or zero-valued
+// fields.
+const stageResponse = "response.v1"
+
+// storeKey maps a synthesis content address and stage onto the
+// artifact store's key space.
+func storeKey(k synth.StageKey, stage string) store.Key {
+	return store.Key{
+		Fingerprint: k.Fingerprint,
+		Constraints: k.Constraints,
+		Algorithm:   k.Algorithm,
+		Stage:       stage,
+	}
+}
+
+// stages is the per-request synth.StageCache adapter over the
+// persistent store. It records the tier that served the last hit so
+// handlers can label partition responses; a fresh value is used per
+// request, so the field is race-free.
+type stages struct {
+	store *store.Store
+	tier  store.Tier
+}
+
+// GetStage implements synth.StageCache over the artifact store.
+func (a *stages) GetStage(stage string, key synth.StageKey) ([]byte, bool) {
+	if a.store == nil {
+		return nil, false
+	}
+	data, tier, ok := a.store.Get(storeKey(key, stage))
+	if ok {
+		a.tier = tier
+	}
+	return data, ok
+}
+
+// PutStage implements synth.StageCache over the artifact store.
+// Store write failures are deliberately swallowed: persistence is an
+// optimization, never a correctness dependency.
+func (a *stages) PutStage(stage string, key synth.StageKey, data []byte) {
+	if a.store != nil {
+		a.store.Put(storeKey(key, stage), data)
+	}
+}
+
+// stageCache builds the pipeline's stage-cache adapter, or a nil
+// interface when no store is configured — nil makes PartitionCached
+// skip result encoding entirely, so memory-only deployments pay no
+// serialization cost on the cold path.
+func (s *Service) stageCache() synth.StageCache {
+	if s.store == nil {
+		return nil
+	}
+	return &stages{store: s.store}
+}
+
+// Synthesize runs (or serves from cache) one synthesis job, reporting
+// the tier that served it; cached responses — memory or disk — are
+// byte-for-byte identical to cold ones. The context gates admission (a
+// request whose context is already cancelled fails fast), but a cold
+// run, once started, is completed and cached detached from the
+// originating context — so a client disconnect can never poison the
+// coalesced requests waiting on the same flight.
+func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, Source, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		s.stats.observe(time.Since(start), outcomeError)
-		return nil, false, err
+		return nil, SourceMiss, err
 	}
 	ca, err := synth.Capture(req.Design, req.synthOptions())
 	if err != nil {
 		s.stats.observe(time.Since(start), outcomeError)
-		return nil, false, err
+		return nil, SourceMiss, err
 	}
-	key := cacheKey(ca)
+	key := ca.StageKey()
 
-	resp, src, err := s.group.do(key, func() (*Response, error) {
-		pt, err := ca.Partition(context.WithoutCancel(ctx))
+	resp, src, err := s.group.do(key.String(), func() (*Response, store.Tier, error) {
+		// Second tier first: a response persisted by an earlier
+		// process (or evicted from memory) skips synthesis entirely.
+		if s.store != nil {
+			if raw, tier, ok := s.store.Get(storeKey(key, stageResponse)); ok {
+				var r Response
+				if err := json.Unmarshal(raw, &r); err == nil {
+					return &r, tier, nil
+				}
+			}
+		}
+		pt, _, err := ca.PartitionCached(context.WithoutCancel(ctx), s.stageCache())
 		if err != nil {
-			return nil, err
+			return nil, store.TierNone, err
 		}
 		mg, err := pt.Merge()
 		if err != nil {
-			return nil, err
+			return nil, store.TierNone, err
 		}
 		em, err := mg.Emit()
 		if err != nil {
-			return nil, err
+			return nil, store.TierNone, err
 		}
-		return NewResponse(em.Output(), ca)
+		r, err := NewResponse(em.Output(), ca)
+		if err != nil {
+			return nil, store.TierNone, err
+		}
+		if s.store != nil {
+			if raw, err := json.Marshal(r); err == nil {
+				s.store.Put(storeKey(key, stageResponse), raw)
+			}
+		}
+		return r, store.TierNone, nil
 	})
 
-	o := outcomeMiss
+	source, o := SourceMiss, outcomeMiss
 	switch {
 	case err != nil:
 		o = outcomeError
-	case src == srcCache:
-		o = outcomeHit
+	case src == srcMemory:
+		source, o = SourceMemory, outcomeMemoryHit
+	case src == srcDisk:
+		source, o = SourceDisk, outcomeDiskHit
 	case src == srcCoalesced:
 		o = outcomeCoalesced
 	}
 	s.stats.observe(time.Since(start), o)
-	return resp, src != srcComputed, err
+	return resp, source, err
 }
 
 // SynthesizeAll runs a batch of jobs over the bench worker pool,
@@ -162,36 +284,89 @@ func (s *Service) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Respons
 }
 
 // Partition runs the capture and partition stages only — no merge, no
-// emit — and reports the partitioning. Partition-only requests are not
-// cached (they are fast and PaperMode results may be unrealizable,
-// which only the merge stage detects).
-func (s *Service) Partition(ctx context.Context, req Request) (*PartitionResponse, error) {
+// emit — and reports the partitioning plus the tier that served it.
+// With a persistent store configured, partition artifacts are cached
+// at stage granularity (stage "partitioned"), independently of full
+// responses — a partition computed here is reused by a later full
+// synthesis of the same job, and vice versa, across restarts — and
+// identical concurrent partition requests coalesce onto a single
+// computation. Without a store, partition requests are uncached and
+// uncoalesced (they are cheap relative to full synthesis).
+func (s *Service) Partition(ctx context.Context, req Request) (*PartitionResponse, Source, error) {
 	start := time.Now()
 	ca, err := synth.Capture(req.Design, req.synthOptions())
 	if err != nil {
 		s.stats.observe(time.Since(start), outcomeError)
-		return nil, err
+		return nil, SourceMiss, err
 	}
-	pt, err := ca.Partition(ctx)
+	// The concrete adapter is kept (when a store exists) to recover
+	// which tier served a hit; a nil interface goes to the pipeline
+	// when there is no store, skipping encoding on the cold path.
+	var st *stages
+	var cache synth.StageCache
+	if s.store != nil {
+		st = &stages{store: s.store}
+		cache = st
+
+		// Coalesce identical concurrent partition computations: the
+		// first request through computes and writes the stage artifact;
+		// the rest wait on its channel and then serve from the store
+		// the winner just populated (each decodes against its own
+		// design build). This is deliberately looser than flightGroup:
+		// no result or error is shared, so a waiter whose winner
+		// failed (or panicked — the deferred close still runs) simply
+		// falls through to computing itself.
+		k := ca.StageKey().String()
+		s.partMu.Lock()
+		if ch, inflight := s.partInflight[k]; inflight {
+			s.partMu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				s.stats.observe(time.Since(start), outcomeError)
+				return nil, SourceMiss, ctx.Err()
+			}
+		} else {
+			ch = make(chan struct{})
+			s.partInflight[k] = ch
+			s.partMu.Unlock()
+			defer func() {
+				s.partMu.Lock()
+				delete(s.partInflight, k)
+				s.partMu.Unlock()
+				close(ch)
+			}()
+		}
+	}
+	pt, hit, err := ca.PartitionCached(ctx, cache)
 	if err != nil {
 		s.stats.observe(time.Since(start), outcomeError)
-		return nil, err
+		return nil, SourceMiss, err
+	}
+	// Without a store, partition requests are outside the cache's
+	// scope (outcomeUncached); with one they are cacheable and count
+	// as per-tier hits or misses like any other request.
+	source, o := SourceMiss, outcomeUncached
+	switch {
+	case hit && st.tier == store.TierMemory:
+		source, o = SourceMemory, outcomeMemoryHit
+	case hit && st.tier == store.TierDisk:
+		source, o = SourceDisk, outcomeDiskHit
+	case s.store != nil:
+		o = outcomeMiss
 	}
 	resp := partitionSummary(ca, pt.Result)
-	s.stats.observe(time.Since(start), outcomeUncached)
-	return &resp, nil
+	s.stats.observe(time.Since(start), o)
+	return &resp, source, nil
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters (including the persistent
+// store's, when one is configured).
 func (s *Service) Stats() Stats {
-	return s.stats.snapshot(s.group.cacheLen())
-}
-
-// cacheKey derives the content address of a synthesis job from the
-// capture artifact: the design fingerprint plus every knob that can
-// change the outcome.
-func cacheKey(ca *synth.Captured) string {
-	c := ca.Constraints
-	return fmt.Sprintf("%s|%s|%dx%d|convex=%t",
-		netlist.Fingerprint(ca.Design), ca.Algorithm, c.MaxInputs, c.MaxOutputs, c.RequireConvex)
+	st := s.stats.snapshot(s.group.cacheLen())
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+	}
+	return st
 }

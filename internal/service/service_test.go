@@ -26,19 +26,19 @@ func TestSynthesizeCacheSemantics(t *testing.T) {
 	s := New(Config{})
 	req := libraryRequest(t, "Podium Timer 3")
 
-	cold, hit, err := s.Synthesize(context.Background(), req)
+	cold, src, err := s.Synthesize(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit {
+	if src.Cached() {
 		t.Error("first request reported as cache hit")
 	}
-	warm, hit, err := s.Synthesize(context.Background(), req)
+	warm, src, err := s.Synthesize(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit {
-		t.Error("second identical request missed the cache")
+	if src != SourceMemory {
+		t.Errorf("second identical request served from %v, want memory", src)
 	}
 
 	// Byte-identical, not merely equal.
@@ -51,7 +51,7 @@ func TestSynthesizeCacheSemantics(t *testing.T) {
 	// A different same-structure build of the design also hits: the key
 	// is the content hash, not the pointer.
 	req2 := libraryRequest(t, "Podium Timer 3")
-	if _, hit, _ := s.Synthesize(context.Background(), req2); !hit {
+	if _, src, _ := s.Synthesize(context.Background(), req2); !src.Cached() {
 		t.Error("identical content from a fresh build missed the cache")
 	}
 
@@ -60,9 +60,9 @@ func TestSynthesizeCacheSemantics(t *testing.T) {
 		{Design: req.Design, Algorithm: "aggregation"},
 		{Design: req.Design, PaperMode: true},
 	} {
-		if _, hit, err := s.Synthesize(context.Background(), alt); err != nil {
+		if _, src, err := s.Synthesize(context.Background(), alt); err != nil {
 			t.Fatal(err)
-		} else if hit {
+		} else if src.Cached() {
 			t.Errorf("request with different knobs (%+v) hit the cache", alt)
 		}
 	}
@@ -249,9 +249,12 @@ func TestSingleFlightCoalesces(t *testing.T) {
 
 func TestPartitionOnly(t *testing.T) {
 	s := New(Config{})
-	resp, err := s.Partition(context.Background(), libraryRequest(t, "Podium Timer 3"))
+	resp, src, err := s.Partition(context.Background(), libraryRequest(t, "Podium Timer 3"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if src.Cached() {
+		t.Errorf("partition with no store reported source %v", src)
 	}
 	if resp.InnerBefore != 8 || resp.InnerAfter != 3 {
 		t.Errorf("partition summary = %d -> %d, want 8 -> 3", resp.InnerBefore, resp.InnerAfter)

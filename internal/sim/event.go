@@ -1,14 +1,3 @@
-// Package sim implements the behavioral eBlock network simulator of
-// Section 3.1 of the paper. Blocks communicate by packets sent serially
-// over wires; communication is globally asynchronous and the simulator
-// is behaviorally correct while obeying only coarse, human-scale timing
-// (the paper notes detailed timing cannot be inferred, and does not need
-// to be). Time is in milliseconds.
-//
-// The simulator is change-driven: a block is (re)evaluated when a packet
-// arrives on one of its inputs or one of its timers fires; when an
-// evaluation changes an output value, a packet is scheduled to every
-// connected destination after the configured wire delay.
 package sim
 
 import "container/heap"

@@ -1,0 +1,22 @@
+// Package store is a persistent, content-addressed artifact store: the
+// disk tier of the synthesis service's result cache. Artifacts are
+// opaque byte payloads keyed by (design fingerprint, constraints,
+// algorithm, stage), so any deterministic stage output — a partition
+// result, a full synthesis response — can be memoized durably and
+// shared across process restarts.
+//
+// Durability discipline:
+//
+//   - Writes are atomic: each entry is written to a temp file in the
+//     store directory and renamed into place, so a crash mid-write can
+//     never leave a half-visible entry. Leftover temp files are swept
+//     on Open.
+//   - Reads are verified: every entry carries the SHA-256 of its
+//     payload, checked on every disk read. A corrupt or truncated
+//     entry is evicted and reported as a miss — never an error.
+//   - The store is size-bounded: total disk usage is capped by
+//     Options.MaxBytes with least-recently-used eviction.
+//
+// A small in-memory first tier (Options.MemBytes) keeps warm-process
+// hits at memory speed; Get reports which tier served each hit.
+package store

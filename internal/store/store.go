@@ -1,0 +1,581 @@
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Key is the content address of one stored artifact. All four fields
+// participate in the address; together they name "the Stage output of
+// running Algorithm on the design with this Fingerprint under these
+// Constraints".
+type Key struct {
+	// Fingerprint is the canonical content hash of the input design
+	// (netlist.Fingerprint).
+	Fingerprint string
+	// Constraints is a canonical rendering of every constraint knob
+	// that can change the artifact (e.g. "2x2|convex=true").
+	Constraints string
+	// Algorithm is the partitioner registry name.
+	Algorithm string
+	// Stage names the pipeline stage the artifact belongs to
+	// ("partitioned", "response.v1", ...). Callers version the stage
+	// name when their payload encoding changes, so entries written by
+	// an older schema miss instead of misparsing.
+	Stage string
+}
+
+// String renders the canonical key text the content address is hashed
+// from.
+func (k Key) String() string {
+	return k.Fingerprint + "|" + k.Constraints + "|" + k.Algorithm + "|" + k.Stage
+}
+
+// id is the hex SHA-256 of the canonical key text: the entry's file
+// name on disk.
+func (k Key) id() string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// validEntryID reports whether name has the exact shape Key.id
+// produces: 64 lowercase hex characters.
+func validEntryID(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Tier says which cache tier served a Get.
+type Tier int
+
+const (
+	// TierNone: the key was not found (or its entry was corrupt).
+	TierNone Tier = iota
+	// TierMemory: served from the in-memory first tier.
+	TierMemory
+	// TierDisk: read (and checksum-verified) from disk.
+	TierDisk
+)
+
+// String returns "none", "memory" or "disk".
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "none"
+	}
+}
+
+// DefaultMaxBytes is the disk budget when Options.MaxBytes is zero.
+const DefaultMaxBytes = 256 << 20 // 256 MiB
+
+// DefaultMemBytes is the in-memory tier budget when Options.MemBytes
+// is zero.
+const DefaultMemBytes = 32 << 20 // 32 MiB
+
+// Options tune a Store.
+type Options struct {
+	// MaxBytes bounds total disk usage (entry files, headers
+	// included); the least recently used entries are evicted beyond
+	// it. Zero means DefaultMaxBytes; negative disables the bound.
+	MaxBytes int64
+	// MemBytes bounds the in-memory first tier (payload bytes). Zero
+	// means DefaultMemBytes; negative disables the memory tier
+	// entirely, useful when the caller layers its own memory cache
+	// above the store.
+	MemBytes int64
+}
+
+func (o Options) maxBytes() int64 {
+	if o.MaxBytes == 0 {
+		return DefaultMaxBytes
+	}
+	return o.MaxBytes
+}
+
+func (o Options) memBytes() int64 {
+	if o.MemBytes == 0 {
+		return DefaultMemBytes
+	}
+	return o.MemBytes
+}
+
+// Store is a two-tier (memory over disk) content-addressed artifact
+// cache rooted at one directory. Safe for concurrent use; readers are
+// never blocked by eviction (an entry deleted mid-read degrades to a
+// miss). Entry files are only renamed into place or removed while the
+// store mutex is held, so the index and the directory cannot disagree
+// about which entries exist.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	// disk index: key id -> element of diskOrder (front = most
+	// recently used; element values are *diskEntry).
+	disk      map[string]*list.Element
+	diskOrder *list.List
+	diskBytes int64
+	// memory tier: key id -> element of memOrder (values *memEntry).
+	mem      map[string]*list.Element
+	memOrder *list.List
+	memBytes int64
+
+	stats Stats
+}
+
+// diskEntry is the index record for one on-disk artifact.
+type diskEntry struct {
+	id   string
+	size int64 // on-disk file size
+	// gen increments every time a Put replaces this entry, so a
+	// reader that saw an older file cannot evict the replacement.
+	gen uint64
+}
+
+// memEntry is one memory-tier payload.
+type memEntry struct {
+	id      string
+	payload []byte
+}
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	// Entries / BytesUsed describe the disk tier.
+	Entries   int   `json:"entries"`
+	BytesUsed int64 `json:"bytesUsed"`
+	// MemEntries / MemBytesUsed describe the in-memory first tier.
+	MemEntries   int   `json:"memEntries"`
+	MemBytesUsed int64 `json:"memBytesUsed"`
+	// MemoryHits / DiskHits / Misses split Get outcomes by tier.
+	MemoryHits uint64 `json:"memoryHits"`
+	DiskHits   uint64 `json:"diskHits"`
+	Misses     uint64 `json:"misses"`
+	// Puts counts successful writes; Evictions counts entries removed
+	// by the size bound; CorruptEvicted counts entries dropped because
+	// their checksum or framing failed on read (or the file was
+	// present but unreadable).
+	Puts           uint64 `json:"puts"`
+	Evictions      uint64 `json:"evictions"`
+	CorruptEvicted uint64 `json:"corruptEvicted"`
+}
+
+// Open opens (creating if needed) the store rooted at dir: sweeps
+// temp files left by a crash, rebuilds the index from the entry files
+// present, and enforces the size bound (deleting evicted files). An
+// unreadable or uncreatable directory is an error; individual
+// malformed or unreadable entry files are skipped (they are evicted,
+// and their files deleted, on first access).
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		disk:      map[string]*list.Element{},
+		diskOrder: list.New(),
+		mem:       map[string]*list.Element{},
+		memOrder:  list.New(),
+	}
+	for _, sub := range []string{s.objectsDir(), s.tmpDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	// Crash recovery: a temp file is an interrupted write; the rename
+	// never happened, so the entry was never visible. Sweep them.
+	tmps, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	for _, t := range tmps {
+		os.Remove(filepath.Join(s.tmpDir(), t.Name()))
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.enforceBoundsLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+func (s *Store) tmpDir() string     { return filepath.Join(s.dir, "tmp") }
+
+func (s *Store) entryPath(id string) string {
+	return filepath.Join(s.objectsDir(), id[:2], id)
+}
+
+// loadIndex scans objects/ and seeds the disk LRU in modification-time
+// order.
+func (s *Store) loadIndex() error {
+	fans, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.objectsDir(), err)
+	}
+	type found struct {
+		id    string
+		size  int64
+		mtime int64
+	}
+	var entries []found
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.objectsDir(), fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			info, err := f.Info()
+			if err != nil || !info.Mode().IsRegular() {
+				continue
+			}
+			// Only well-formed entry names (the hex id, fanned under
+			// its own first two characters) are indexed; stray files
+			// are ignored rather than risking eviction removing the
+			// wrong path.
+			id := f.Name()
+			if !validEntryID(id) || id[:2] != fan.Name() {
+				continue
+			}
+			entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	// Newest first: PushBack fills the list head-to-tail, and the
+	// tail (the oldest entry) evicts first.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime > entries[j].mtime })
+	for _, e := range entries {
+		el := s.diskOrder.PushBack(&diskEntry{id: e.id, size: e.size})
+		s.disk[e.id] = el
+		s.diskBytes += e.size
+	}
+	return nil
+}
+
+// Get returns the payload stored under k and the tier that served it.
+// A missing, deleted-mid-read, or corrupt entry is a miss (corrupt or
+// unreadable entries are additionally evicted and their files
+// deleted). The returned slice is shared with the memory tier and
+// must not be modified.
+func (s *Store) Get(k Key) ([]byte, Tier, bool) {
+	id := k.id()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, TierNone, false
+	}
+	if el, ok := s.mem[id]; ok {
+		s.memOrder.MoveToFront(el)
+		if del, ok := s.disk[id]; ok {
+			s.diskOrder.MoveToFront(del)
+		}
+		s.stats.MemoryHits++
+		payload := el.Value.(*memEntry).payload
+		s.mu.Unlock()
+		return payload, TierMemory, true
+	}
+	el, onDisk := s.disk[id]
+	var gen uint64
+	if onDisk {
+		s.diskOrder.MoveToFront(el)
+		gen = el.Value.(*diskEntry).gen
+	} else {
+		s.stats.Misses++
+	}
+	s.mu.Unlock()
+	if !onDisk {
+		return nil, TierNone, false
+	}
+
+	// Read outside the lock: eviction may delete the file underneath
+	// us, which reads as a miss, not an error.
+	var payload []byte
+	raw, err := os.ReadFile(s.entryPath(id))
+	if err == nil {
+		payload, err = decodeEntry(raw, k)
+	}
+	if err != nil {
+		s.mu.Lock()
+		// Evict only if the entry is still the generation we read; a
+		// concurrent Put may have just replaced it with a fresh file.
+		if cur, ok := s.disk[id]; ok && cur.Value.(*diskEntry).gen == gen {
+			s.dropLocked(id)
+			if !os.IsNotExist(err) {
+				// Present but corrupt or unreadable: delete the file
+				// (under the lock, so we cannot race a re-Put's
+				// rename) to keep disk usage within accounting.
+				s.stats.CorruptEvicted++
+				os.Remove(s.entryPath(id))
+			}
+		}
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, TierNone, false
+	}
+
+	s.mu.Lock()
+	s.stats.DiskHits++
+	// Promote only if the entry is still the generation we read:
+	// otherwise a concurrent Put has already installed fresher bytes
+	// in the memory tier and we must not overwrite them with what is
+	// now a superseded payload. (This reader still returns the older
+	// payload it read — its Get began before the Put completed.)
+	if cur, ok := s.disk[id]; ok && cur.Value.(*diskEntry).gen == gen {
+		s.promoteMemLocked(id, payload)
+	}
+	s.mu.Unlock()
+	return payload, TierDisk, true
+}
+
+// Put stores data under k, replacing any existing entry, and applies
+// the size bounds. The store retains data for its memory tier; the
+// caller must not modify it afterwards.
+func (s *Store) Put(k Key, data []byte) error {
+	id := k.id()
+	raw := encodeEntry(k, data)
+
+	// Prepare the entry outside the lock: temp file in the store's
+	// own tmp dir (same filesystem), fully written and fsynced.
+	tmp, err := os.CreateTemp(s.tmpDir(), "put-*")
+	if err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	final := s.entryPath(id)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put: %w", err)
+	}
+
+	// The atomic rename and the index update happen under one
+	// critical section, so concurrent corrupt-entry eviction can
+	// never delete a freshly written replacement.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put on closed store")
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		s.mu.Unlock()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if el, ok := s.disk[id]; ok {
+		e := el.Value.(*diskEntry)
+		s.diskBytes += int64(len(raw)) - e.size
+		e.size = int64(len(raw))
+		e.gen++
+		s.diskOrder.MoveToFront(el)
+	} else {
+		s.disk[id] = s.diskOrder.PushFront(&diskEntry{id: id, size: int64(len(raw))})
+		s.diskBytes += int64(len(raw))
+	}
+	s.stats.Puts++
+	s.promoteMemLocked(id, data)
+	s.enforceBoundsLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// promoteMemLocked installs payload in the memory tier (unless the
+// tier is disabled or the payload alone exceeds its budget).
+func (s *Store) promoteMemLocked(id string, payload []byte) {
+	budget := s.opts.memBytes()
+	if budget < 0 || int64(len(payload)) > budget {
+		return
+	}
+	if el, ok := s.mem[id]; ok {
+		e := el.Value.(*memEntry)
+		s.memBytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
+		s.memOrder.MoveToFront(el)
+	} else {
+		s.mem[id] = s.memOrder.PushFront(&memEntry{id: id, payload: payload})
+		s.memBytes += int64(len(payload))
+	}
+	for s.memBytes > budget {
+		oldest := s.memOrder.Back()
+		e := oldest.Value.(*memEntry)
+		s.memOrder.Remove(oldest)
+		delete(s.mem, e.id)
+		s.memBytes -= int64(len(e.payload))
+	}
+}
+
+// enforceBoundsLocked evicts least-recently-used disk entries (and
+// deletes their files) until under MaxBytes. The most recently used
+// entry is never evicted, even when it alone exceeds the budget.
+func (s *Store) enforceBoundsLocked() {
+	budget := s.opts.maxBytes()
+	if budget < 0 {
+		return
+	}
+	for s.diskBytes > budget && s.diskOrder.Len() > 1 {
+		id := s.diskOrder.Back().Value.(*diskEntry).id
+		s.dropLocked(id)
+		s.stats.Evictions++
+		os.Remove(s.entryPath(id))
+	}
+}
+
+// dropLocked removes id from both tiers' indexes (callers delete the
+// file and maintain the outcome counters).
+func (s *Store) dropLocked(id string) {
+	if el, ok := s.disk[id]; ok {
+		s.diskOrder.Remove(el)
+		delete(s.disk, id)
+		s.diskBytes -= el.Value.(*diskEntry).size
+	}
+	if el, ok := s.mem[id]; ok {
+		s.memOrder.Remove(el)
+		delete(s.mem, id)
+		s.memBytes -= int64(len(el.Value.(*memEntry).payload))
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.diskOrder.Len()
+	st.BytesUsed = s.diskBytes
+	st.MemEntries = s.memOrder.Len()
+	st.MemBytesUsed = s.memBytes
+	return st
+}
+
+// Len returns the number of entries in the disk tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskOrder.Len()
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close marks the store closed; subsequent Gets miss and Puts fail.
+// All written entries are already durable (entries are synced and
+// renamed at Put time), so Close has nothing to flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// --- entry framing ------------------------------------------------------
+
+// entryMagic starts every entry file; bump the version on any framing
+// change so old entries read as corrupt (and are evicted) rather than
+// misparsed.
+const entryMagic = "eblocks-store-v1"
+
+// encodeEntry frames a payload with its self-describing header:
+//
+//	eblocks-store-v1
+//	key <canonical key text>
+//	len <payload length>
+//	sha256 <hex digest of payload>
+//	<blank line>
+//	<payload bytes>
+func encodeEntry(k Key, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(payload) + 256)
+	fmt.Fprintf(&b, "%s\nkey %s\nlen %d\nsha256 %s\n\n", entryMagic, k.String(), len(payload), hex.EncodeToString(sum[:]))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeEntry parses and verifies an entry file: framing, declared
+// length, payload checksum, and (defense against hash collisions in
+// the file namespace) the key text itself.
+func decodeEntry(raw []byte, k Key) ([]byte, error) {
+	rest, ok := bytes.CutPrefix(raw, []byte(entryMagic+"\n"))
+	if !ok {
+		return nil, fmt.Errorf("store: bad magic")
+	}
+	line := func(prefix string) (string, error) {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return "", fmt.Errorf("store: truncated header")
+		}
+		l := string(rest[:nl])
+		rest = rest[nl+1:]
+		if len(l) < len(prefix)+1 || l[:len(prefix)] != prefix || l[len(prefix)] != ' ' {
+			return "", fmt.Errorf("store: malformed header line %q", l)
+		}
+		return l[len(prefix)+1:], nil
+	}
+	keyText, err := line("key")
+	if err != nil {
+		return nil, err
+	}
+	if keyText != k.String() {
+		return nil, fmt.Errorf("store: entry key mismatch")
+	}
+	lenText, err := line("len")
+	if err != nil {
+		return nil, err
+	}
+	want, err := strconv.Atoi(lenText)
+	if err != nil || want < 0 {
+		return nil, fmt.Errorf("store: bad length %q", lenText)
+	}
+	sumText, err := line("sha256")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 1 || rest[0] != '\n' {
+		return nil, fmt.Errorf("store: missing header terminator")
+	}
+	payload := rest[1:]
+	if len(payload) != want {
+		return nil, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), want)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumText {
+		return nil, fmt.Errorf("store: payload checksum mismatch")
+	}
+	return payload, nil
+}

@@ -1,0 +1,180 @@
+package synth
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// StageKey is the content address of one synthesis run: the design
+// fingerprint plus every knob that can change the outcome. Per-run
+// tuning knobs (worker counts, search bounds) are deliberately
+// excluded — every registered algorithm is deterministic across them,
+// so they change how fast an artifact is produced, never which one.
+type StageKey struct {
+	// Fingerprint is the canonical design content hash
+	// (netlist.Fingerprint), independent of block insertion order.
+	Fingerprint string
+	// Constraints is the canonical rendering of the effective
+	// constraints ("2x2|convex=true").
+	Constraints string
+	// Algorithm is the partitioner registry name.
+	Algorithm string
+}
+
+// String renders the canonical cache-key text.
+func (k StageKey) String() string {
+	return k.Fingerprint + "|" + k.Constraints + "|" + k.Algorithm
+}
+
+// StageKey derives the capture artifact's content address. The
+// design fingerprint — a canonical re-serialization and SHA-256 of
+// the whole design — is computed once per capture and memoized, so
+// the service layer, the stage cache, and the response summary can
+// all ask for it without repeating O(design) hashing on the hot path.
+func (ca *Captured) StageKey() StageKey {
+	ca.keyOnce.Do(func() {
+		c := ca.Constraints
+		ca.key = StageKey{
+			Fingerprint: netlist.Fingerprint(ca.Design),
+			Constraints: fmt.Sprintf("%dx%d|convex=%t", c.MaxInputs, c.MaxOutputs, c.RequireConvex),
+			Algorithm:   ca.Algorithm,
+		}
+	})
+	return ca.key
+}
+
+// StagePartitioned names the Partitioned artifact in a StageCache;
+// stage caches and the artifact store use it as the Stage component of
+// their keys.
+const StagePartitioned = "partitioned"
+
+// StageCache is the hook through which the pipeline memoizes stage
+// artifacts. Implementations must be safe for concurrent use; the
+// pipeline treats both methods as best-effort (a cache that always
+// misses and drops every Put is valid).
+type StageCache interface {
+	// GetStage returns the encoded artifact stored for (stage, key).
+	GetStage(stage string, key StageKey) ([]byte, bool)
+	// PutStage stores an encoded artifact under (stage, key).
+	PutStage(stage string, key StageKey, data []byte)
+}
+
+// PartitionCached is Partition with stage-level memoization: on a
+// cache hit the partitioning result is decoded and adopted without
+// running the algorithm, so callers that sweep emission-side options
+// — or re-synthesize a design partitioned in an earlier process —
+// reuse the expensive partition stage. A nil cache, a miss, or an
+// undecodable entry all fall back to computing; the returned bool
+// reports whether the artifact came from the cache.
+func (ca *Captured) PartitionCached(ctx context.Context, cache StageCache) (*Partitioned, bool, error) {
+	if cache == nil {
+		pt, err := ca.Partition(ctx)
+		return pt, false, err
+	}
+	key := ca.StageKey()
+	if raw, ok := cache.GetStage(StagePartitioned, key); ok {
+		if res, err := decodeResult(raw, ca.Design.Graph()); err == nil {
+			return ca.Adopt(res), true, nil
+		}
+		// Undecodable (e.g. written against a different design that
+		// collided, or an older encoding): recompute below.
+	}
+	pt, err := ca.Partition(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	if raw, err := encodeResult(pt.Result, ca.Design.Graph()); err == nil {
+		cache.PutStage(StagePartitioned, key, raw)
+	}
+	return pt, false, nil
+}
+
+// resultWire is the portable encoding of a core.Result. Nodes are
+// identified by block name, not NodeID: the fingerprint two designs
+// share is insertion-order independent, so their NodeIDs may differ
+// while their names cannot.
+type resultWire struct {
+	Version      int        `json:"v"`
+	Algorithm    string     `json:"algorithm"`
+	Partitions   [][]string `json:"partitions"`
+	Uncovered    []string   `json:"uncovered"`
+	FitChecks    int        `json:"fitChecks"`
+	NodesVisited int64      `json:"nodesVisited,omitempty"`
+}
+
+const resultWireVersion = 1
+
+// encodeResult renders a partitioning result in the portable wire
+// form.
+func encodeResult(res *core.Result, g *graph.Graph) ([]byte, error) {
+	w := resultWire{
+		Version:      resultWireVersion,
+		Algorithm:    res.Algorithm,
+		Partitions:   make([][]string, len(res.Partitions)),
+		Uncovered:    make([]string, 0, len(res.Uncovered)),
+		FitChecks:    res.FitChecks,
+		NodesVisited: res.NodesVisited,
+	}
+	for i, p := range res.Partitions {
+		ids := p.Sorted()
+		names := make([]string, len(ids))
+		for j, id := range ids {
+			names[j] = g.Name(id)
+		}
+		w.Partitions[i] = names
+	}
+	for _, id := range res.Uncovered {
+		w.Uncovered = append(w.Uncovered, g.Name(id))
+	}
+	return json.Marshal(w)
+}
+
+// decodeResult rebuilds a partitioning result against g, resolving
+// block names back to node IDs. Any unknown name fails the decode
+// (the artifact belongs to a different design).
+func decodeResult(raw []byte, g *graph.Graph) (*core.Result, error) {
+	var w resultWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	if w.Version != resultWireVersion {
+		return nil, fmt.Errorf("synth: unknown result encoding version %d", w.Version)
+	}
+	lookup := func(name string) (graph.NodeID, error) {
+		id := g.Lookup(name)
+		if !g.Valid(id) {
+			return 0, fmt.Errorf("synth: cached result names unknown block %q", name)
+		}
+		return id, nil
+	}
+	res := &core.Result{
+		Algorithm:    w.Algorithm,
+		Partitions:   make([]graph.NodeSet, len(w.Partitions)),
+		FitChecks:    w.FitChecks,
+		NodesVisited: w.NodesVisited,
+	}
+	for i, names := range w.Partitions {
+		set := graph.NewNodeSet()
+		for _, name := range names {
+			id, err := lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			set.Add(id)
+		}
+		res.Partitions[i] = set
+	}
+	for _, name := range w.Uncovered {
+		id, err := lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		res.Uncovered = append(res.Uncovered, id)
+	}
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// mapStageCache is an in-memory StageCache for tests.
+type mapStageCache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+}
+
+func newMapStageCache() *mapStageCache {
+	return &mapStageCache{entries: map[string][]byte{}}
+}
+
+func (c *mapStageCache) GetStage(stage string, key StageKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	raw, ok := c.entries[stage+"|"+key.String()]
+	return raw, ok
+}
+
+func (c *mapStageCache) PutStage(stage string, key StageKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.entries[stage+"|"+key.String()] = data
+}
+
+func TestPartitionCached(t *testing.T) {
+	d := designs.Lookup("Podium Timer 3").Build()
+	cache := newMapStageCache()
+
+	ca, err := Capture(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, hit, err := ca.PartitionCached(context.Background(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first PartitionCached reported a hit")
+	}
+	if cache.puts != 1 {
+		t.Errorf("puts = %d, want 1", cache.puts)
+	}
+
+	warm, hit, err := ca.PartitionCached(context.Background(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second PartitionCached missed")
+	}
+	if warm.Result.Cost() != cold.Result.Cost() || warm.Result.FitChecks != cold.Result.FitChecks {
+		t.Errorf("cached result differs: cost %d/%d, fitChecks %d/%d",
+			warm.Result.Cost(), cold.Result.Cost(), warm.Result.FitChecks, cold.Result.FitChecks)
+	}
+	// The adopted artifact must flow through the rest of the pipeline
+	// to the identical synthesized network.
+	coldOut, err := cold.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut, err := warm.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := coldOut.Emit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := warmOut.Emit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.Serialize(ce.Synthesized) != netlist.Serialize(we.Synthesized) {
+		t.Error("cached partition produced a different synthesized network")
+	}
+}
+
+// TestPartitionCachedAcrossBuilds stores a result from one build of a
+// design and serves it to a fresh build (different *Design pointer,
+// same fingerprint) — the cross-process restart scenario.
+func TestPartitionCachedAcrossBuilds(t *testing.T) {
+	cache := newMapStageCache()
+	ca1, err := Capture(designs.Lookup("Two-Zone Security").Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := ca1.PartitionCached(context.Background(), cache); err != nil || hit {
+		t.Fatalf("seed run: hit=%v err=%v", hit, err)
+	}
+
+	ca2, err := Capture(designs.Lookup("Two-Zone Security").Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, hit, err := ca2.PartitionCached(context.Background(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("fresh build of the same design missed the stage cache")
+	}
+	// The adopted result must be valid for the fresh build's graph.
+	if err := pt.Result.Validate(ca2.Design.Graph(), ca2.Constraints); err != nil {
+		t.Errorf("adopted result invalid for the fresh build: %v", err)
+	}
+}
+
+func TestPartitionCachedKnobsChangeKey(t *testing.T) {
+	d := designs.Lookup("Podium Timer 3").Build()
+	keys := map[string]bool{}
+	for _, opts := range []Options{
+		{},
+		{Algorithm: "aggregation"},
+		{PaperMode: true},
+	} {
+		ca, err := Capture(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[ca.StageKey().String()] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("expected 3 distinct stage keys, got %d", len(keys))
+	}
+}
+
+func TestPartitionCachedBadEntryFallsBack(t *testing.T) {
+	d := designs.Lookup("Podium Timer 3").Build()
+	ca, err := Capture(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMapStageCache()
+
+	// Garbage entry: recompute, don't fail.
+	cache.PutStage(StagePartitioned, ca.StageKey(), []byte("{not json"))
+	pt, hit, err := ca.PartitionCached(context.Background(), cache)
+	if err != nil {
+		t.Fatalf("garbage cache entry surfaced as error: %v", err)
+	}
+	if hit {
+		t.Error("garbage cache entry reported as hit")
+	}
+	if pt.Result == nil || pt.Result.Cost() == 0 {
+		t.Error("fallback did not compute a real result")
+	}
+
+	// Entry naming blocks of a different design: recompute.
+	other, err := Capture(designs.Lookup("Two-Zone Security").Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := encodeResult(mustPartition(t, other).Result, other.Design.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.PutStage(StagePartitioned, ca.StageKey(), raw)
+	if _, hit, err := ca.PartitionCached(context.Background(), cache); err != nil || hit {
+		t.Errorf("foreign-design entry: hit=%v err=%v, want recompute", hit, err)
+	}
+}
+
+func mustPartition(t *testing.T, ca *Captured) *Partitioned {
+	t.Helper()
+	pt, err := ca.Partition(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestResultWireRoundTrip(t *testing.T) {
+	for _, name := range []string{"Podium Timer 3", "Noise At Night Detector", "Doorbell Extender 2"} {
+		e := designs.Lookup(name)
+		if e == nil {
+			t.Fatalf("unknown design %q", name)
+		}
+		d := e.Build()
+		ca, err := Capture(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := mustPartition(t, ca)
+		raw, err := encodeResult(pt.Result, d.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := decodeResult(raw, d.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw2, err := encodeResult(back, d.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(raw2) {
+			t.Errorf("%s: wire form does not round-trip:\n%s\nvs\n%s", name, raw, raw2)
+		}
+		if err := back.Validate(d.Graph(), ca.Constraints); err != nil {
+			t.Errorf("%s: decoded result invalid: %v", name, err)
+		}
+	}
+}
+
+func TestResultWireRejectsUnknownVersion(t *testing.T) {
+	d := designs.Lookup("Podium Timer 3").Build()
+	raw, _ := json.Marshal(resultWire{Version: 99, Algorithm: "paredown"})
+	if _, err := decodeResult(raw, d.Graph()); err == nil {
+		t.Error("unknown wire version accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package synth ties the synthesis flow together (paper Section 3.2,
+// Figure 2) as a staged pipeline: a captured design is partitioned
+// (internal/core), each partition's behavior trees are merged
+// (internal/codegen), and a new network is emitted in which every
+// partition has been replaced by a single programmable block running
+// the merged program, with an optional simulation-based equivalence
+// check between the original and the synthesized network. See
+// pipeline.go for the stage artifacts (Captured → Partitioned → Merged
+// → Emitted → Verified); Synthesize and Realize below are thin
+// compatibility wrappers over the pipeline.
+package synth

@@ -21,6 +21,7 @@ package synth
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/block"
 	"repro/internal/codegen"
@@ -41,6 +42,12 @@ type Captured struct {
 	Algorithm string
 	// Core carries the per-algorithm tuning knobs.
 	Core core.Options
+
+	// keyOnce/key memoize StageKey (the design fingerprint is
+	// expensive); Captured artifacts are shared by pointer, so the
+	// hash is computed at most once per capture.
+	keyOnce sync.Once
+	key     StageKey
 }
 
 // Capture validates the design and resolves the run parameters.

@@ -55,6 +55,7 @@ type Mismatch struct {
 	Synth    int64
 }
 
+// String summarizes the mismatch for logs and error messages.
 func (m Mismatch) String() string {
 	return fmt.Sprintf("t=%dms output %q: original=%d synthesized=%d", m.Time, m.Output, m.Original, m.Synth)
 }
