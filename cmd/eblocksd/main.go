@@ -14,12 +14,14 @@
 //	POST /v1/synthesize  {"design": {...} | "ebk": "...", "algorithm": "paredown", ...}
 //	POST /v1/partition   same request shape; partitioning summary only
 //	POST /v1/batch       {"requests": [ ... ]}
+//	POST /v1/simulate    {"design"|"ebk"|"fingerprint", "script": "at 100 set door 1", ...}
+//	POST /v1/verify      synthesis request + stimulus schedule; Verified-stage cached
 //	GET  /v1/algorithms
 //	GET  /v1/stats
 //	GET  /healthz
 //
-// Synthesize and partition responses carry an X-Cache header naming
-// the tier that served them: "memory", "disk" or "miss". See
+// Synthesize, partition and verify responses carry an X-Cache header
+// naming the tier that served them: "memory", "disk" or "miss". See
 // docs/API.md for the full HTTP reference.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before
@@ -50,10 +52,11 @@ func main() {
 		storeDir      = flag.String("store-dir", "", "directory for the persistent artifact store (empty = memory-only caching)")
 		storeMaxBytes = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "disk budget for the artifact store; least recently used entries are evicted beyond it")
 		storeMemBytes = flag.Int64("store-mem-bytes", store.DefaultMemBytes, "budget for the store's own memory tier (serves stage artifacts and post-eviction responses; -1 disables it, leaving -cache as the only memory tier)")
+		simMaxEvents  = flag.Int("sim-max-events", 0, "cap on the per-request simulation event budget for /v1/simulate and /v1/verify (0 = the simulator default of 1,000,000)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers}
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes, MemBytes: *storeMemBytes})
 		if err != nil {

@@ -6,6 +6,14 @@
 //
 //	eblocksim -design garage.ebk -script stimuli.txt [-until 10000] [-all]
 //	eblocksim -library "Podium Timer 3" -script stimuli.txt -vcd out.vcd
+//	eblocksim -library "Night Lamp Controller" -script stimuli.txt -json
+//	eblocksim -serve :8080
+//
+// -json emits the eblocksd /v1/simulate response schema instead of the
+// human-readable report, and -serve starts the eblocksd HTTP API
+// (memory-only, no persistent store) — both are produced by the same
+// service code the daemon runs, so CLI and server outputs are
+// byte-compatible.
 //
 // The stimulus script has one event per line:
 //
@@ -15,12 +23,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/designs"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -37,6 +51,8 @@ func main() {
 		compiled   = flag.Bool("compiled", false, "evaluate behaviors on the bytecode VM")
 		vcdPath    = flag.String("vcd", "", "write the trace as a VCD waveform to this file")
 		stats      = flag.Bool("stats", false, "print structural statistics before simulating")
+		jsonOut    = flag.Bool("json", false, "print the eblocksd /v1/simulate response schema instead of the report")
+		serve      = flag.String("serve", "", "serve the eblocksd HTTP API on this address instead of simulating (memory-only)")
 	)
 	flag.Parse()
 
@@ -45,6 +61,12 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+	if *serve != "" {
+		svc := service.New(service.Config{})
+		log.Printf("eblocksim: serving the eblocksd API on %s (memory-only)", *serve)
+		srv := &http.Server{Addr: *serve, Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		fatal(srv.ListenAndServe())
 	}
 	d, err := cli.LoadDesign(*designPath, *library)
 	if err != nil {
@@ -70,6 +92,43 @@ func main() {
 			fatal(err)
 		}
 		opts.Script = string(raw)
+	}
+	if *jsonOut {
+		// Run through the service layer so the document is exactly what
+		// eblocksd's /v1/simulate would return for the same job.
+		var stimuli []sim.Stimulus
+		if opts.Script != "" {
+			if stimuli, err = sim.ParseScript(opts.Script); err != nil {
+				fatal(err)
+			}
+		}
+		svc := service.New(service.Config{})
+		resp, _, err := svc.Simulate(context.Background(), service.SimulateJob{
+			Design: d, Stimuli: stimuli, Until: *until, Config: opts.Config,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+		// -vcd composes with -json: the waveform comes from the same run.
+		if *vcdPath != "" {
+			f, err := os.Create(*vcdPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sim.WriteVCD(f, resp.Trace, d.Name); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "eblocksim: wrote waveform to %s\n", *vcdPath)
+		}
+		return
 	}
 	var vcdFile *os.File
 	if *vcdPath != "" {

@@ -1,0 +1,60 @@
+package netlist_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// FuzzUnmarshalJSON fuzzes the netlist JSON wire-form decoder. Any
+// document that decodes must re-encode and decode again to a design
+// with the same fingerprint and a byte-identical second encoding — the
+// round-trip contract the service's content-addressed caching depends
+// on. Documents that do not decode only need to fail cleanly (no
+// panic, no partial global state).
+func FuzzUnmarshalJSON(f *testing.F) {
+	// Real library designs give the fuzzer well-formed structure to
+	// mutate.
+	for _, name := range []string{"Night Lamp Controller", "Podium Timer 3", "Two Button Light"} {
+		raw, err := netlist.MarshalJSON(designs.Lookup(name).Build())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"d"}`))
+	f.Add([]byte(`{"name":"d","blocks":[{"name":"b","type":"Button"}]}`))
+	f.Add([]byte(`{"name":"d","blocks":[{"name":"p","type":"Prog3x2"}]}`))
+	f.Add([]byte(`{"name":"d","blocks":[{"name":"b","type":"Button","kind":"sensor"}],` +
+		`"wires":[{"from":"b","fromPort":"y","to":"b","toPort":"a"}]}`))
+	f.Add([]byte(`{"name":"d","blocks":[{"name":"n","type":"Not","program":"out y = !a"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := netlist.UnmarshalJSON(data, block.Standard())
+		if err != nil {
+			return
+		}
+		first, err := netlist.MarshalJSON(d)
+		if err != nil {
+			t.Fatalf("decoded design does not re-encode: %v", err)
+		}
+		d2, err := netlist.UnmarshalJSON(first, block.Standard())
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\ndocument:\n%s", err, first)
+		}
+		if netlist.Fingerprint(d) != netlist.Fingerprint(d2) {
+			t.Fatalf("fingerprint changed across round trip:\ndocument:\n%s", first)
+		}
+		second, err := netlist.MarshalJSON(d2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonical encoding is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
+}

@@ -70,13 +70,15 @@ func (jr JSONRequest) toRequest() (Request, error) {
 //	POST /v1/synthesize  — synthesize one design (cached two-tier)
 //	POST /v1/partition   — partition only, no merge/emit
 //	POST /v1/batch       — synthesize many designs over the worker pool
+//	POST /v1/simulate    — run the event-driven simulator (?format=vcd)
+//	POST /v1/verify      — full pipeline through the Verified stage
 //	GET  /v1/algorithms  — registered partitioner names
 //	GET  /v1/stats       — service + store counters, latency quantiles
 //	GET  /healthz        — liveness probe
 //
-// Synthesize and partition responses carry an X-Cache header naming
-// the tier that served them: "memory" (in-process cache), "disk"
-// (persistent store) or "miss" (computed by this request). See
+// Synthesize, partition and verify responses carry an X-Cache header
+// naming the tier that served them: "memory" (in-process cache),
+// "disk" (persistent store) or "miss" (computed by this request). See
 // docs/API.md for the full reference.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -137,6 +139,8 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, BatchResponse{Responses: resps})
 	})
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string][]string{"algorithms": core.Algorithms()})
 	})

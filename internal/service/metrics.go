@@ -17,6 +17,8 @@ const latencyWindow = 4096
 type metrics struct {
 	mu         sync.Mutex
 	requests   uint64
+	simulates  uint64
+	verifies   uint64
 	memoryHits uint64
 	diskHits   uint64
 	misses     uint64
@@ -27,9 +29,23 @@ type metrics struct {
 }
 
 func (m *metrics) observe(d time.Duration, outcome outcome) {
+	m.observeClass(d, outcome, classSynth)
+}
+
+// observeClass is observe with the request class recorded: simulation
+// and verification requests share the outcome counters and latency
+// window with synthesis but are additionally counted per class, so
+// /v1/stats can say how much of the traffic is which.
+func (m *metrics) observeClass(d time.Duration, outcome outcome, class reqClass) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests++
+	switch class {
+	case classSimulate:
+		m.simulates++
+	case classVerify:
+		m.verifies++
+	}
 	switch outcome {
 	case outcomeMemoryHit:
 		m.memoryHits++
@@ -64,10 +80,24 @@ const (
 	outcomeUncached
 )
 
+// reqClass discriminates request kinds in the counters.
+type reqClass int
+
+const (
+	classSynth reqClass = iota
+	classSimulate
+	classVerify
+)
+
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	// Requests counts synthesize/batch/partition requests served.
+	// Requests counts all requests served (synthesize, batch,
+	// partition, simulate, verify).
 	Requests uint64 `json:"requests"`
+	// SimulateRequests / VerifyRequests split out the simulation and
+	// verification share of Requests.
+	SimulateRequests uint64 `json:"simulateRequests"`
+	VerifyRequests   uint64 `json:"verifyRequests"`
 	// CacheHits totals hits across both tiers (MemoryHits + DiskHits);
 	// kept for clients of the pre-store schema.
 	CacheHits uint64 `json:"cacheHits"`
@@ -102,14 +132,16 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 	lat := make([]time.Duration, len(m.lat))
 	copy(lat, m.lat)
 	st := Stats{
-		Requests:     m.requests,
-		CacheHits:    m.memoryHits + m.diskHits,
-		MemoryHits:   m.memoryHits,
-		DiskHits:     m.diskHits,
-		CacheMisses:  m.misses,
-		Coalesced:    m.coalesced,
-		Errors:       m.errors,
-		CacheEntries: cacheEntries,
+		Requests:         m.requests,
+		SimulateRequests: m.simulates,
+		VerifyRequests:   m.verifies,
+		CacheHits:        m.memoryHits + m.diskHits,
+		MemoryHits:       m.memoryHits,
+		DiskHits:         m.diskHits,
+		CacheMisses:      m.misses,
+		Coalesced:        m.coalesced,
+		Errors:           m.errors,
+		CacheEntries:     cacheEntries,
 	}
 	m.mu.Unlock()
 

@@ -23,10 +23,16 @@ type Config struct {
 	// Workers bounds the batch API's worker pool; 0 means GOMAXPROCS.
 	Workers int
 	// Store, when non-nil, is the persistent second cache tier:
-	// responses and partition-stage artifacts are written through to
-	// it and served from it after a restart (or after memory-tier
-	// eviction). Nil means memory-only caching, as before.
+	// responses and partition-, verified- and design-stage artifacts
+	// are written through to it and served from it after a restart (or
+	// after memory-tier eviction). Nil means memory-only caching, as
+	// before.
 	Store *store.Store
+	// SimMaxEvents caps the event budget of simulation and
+	// verification requests (sim.Config.MaxEvents): requests may lower
+	// the budget beneath the cap but never raise it above. 0 leaves
+	// the simulator default (1,000,000) as the effective ceiling.
+	SimMaxEvents int
 }
 
 func (c Config) cacheSize() int {
@@ -60,6 +66,10 @@ type Service struct {
 	// stage cache, waiters block on the channel and then read it.
 	partMu       sync.Mutex
 	partInflight map[string]chan struct{}
+	// simGroup/verifyGroup coalesce identical concurrent simulation
+	// and verification computations (see Simulate, Verify).
+	simGroup    sfGroup[*SimulateResponse]
+	verifyGroup sfGroup[verifyOutcome]
 }
 
 // New builds a Service.
@@ -138,14 +148,28 @@ func (s Source) Cached() bool { return s != SourceMiss }
 const stageResponse = "response.v1"
 
 // storeKey maps a synthesis content address and stage onto the
-// artifact store's key space.
+// artifact store's key space. A stage-specific Aux component (the
+// Verified stage's stimulus hash and sim semantics) folds into the
+// Constraints field — the store documents Constraints as "every knob
+// that can change the artifact", which is exactly what Aux carries.
 func storeKey(k synth.StageKey, stage string) store.Key {
+	cons := k.Constraints
+	if k.Aux != "" {
+		cons += "|" + k.Aux
+	}
 	return store.Key{
 		Fingerprint: k.Fingerprint,
-		Constraints: k.Constraints,
+		Constraints: cons,
 		Algorithm:   k.Algorithm,
 		Stage:       stage,
 	}
+}
+
+// designStoreKey addresses a persisted design document: keyed by the
+// design's own fingerprint alone (a design exists upstream of any
+// constraints or algorithm choice).
+func designStoreKey(fingerprint string) store.Key {
+	return store.Key{Fingerprint: fingerprint, Stage: stageDesign}
 }
 
 // stages is the per-request synth.StageCache adapter over the

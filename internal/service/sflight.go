@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// sfGroup is a generic single-flight: for a given key, at most one fn
+// runs at a time; concurrent calls for the same key wait for it and
+// share its result (value and error alike). Unlike flightGroup it has
+// no cache — a key is forgotten the moment its flight completes — so
+// it suits computations whose results are cached elsewhere (the
+// artifact store) or not at all (simulation traces).
+type sfGroup[T any] struct {
+	mu       sync.Mutex
+	inflight map[string]*sfCall[T]
+}
+
+type sfCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// do returns the result for key, computing it with fn unless an
+// identical call is already in flight. The bool reports whether this
+// call joined another's flight. A waiter whose context expires stops
+// waiting and returns the context error; the computation itself is
+// never cancelled by a waiter (the winner owns it).
+func (g *sfGroup[T]) do(ctx context.Context, key string, fn func() (T, error)) (T, bool, error) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = map[string]*sfCall[T]{}
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero T
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &sfCall[T]{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	// Cleanup runs deferred so a panicking fn (recovered upstream by
+	// net/http) cannot leave the key wedged with an unclosed channel;
+	// the panic still propagates, and waiters see errFlightPanicked.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightPanicked
+		}
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, false, c.err
+}

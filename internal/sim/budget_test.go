@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestBudgetErrorTyped is the regression test for the event-budget
+// failure mode: the error must be a typed, JSON-serializable
+// *BudgetError (so the service layer can map it to HTTP 422
+// structurally), not a bare string to be matched.
+func TestBudgetErrorTyped(t *testing.T) {
+	s, err := New(garage(t), Config{MaxEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three stimuli queue more events than the budget of 2 admits.
+	for i, v := range []int64{1, 0, 1} {
+		if err := s.Stimulate(Stimulus{Time: int64(100 + 10*i), Block: "door", Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = s.Run(1000)
+	if err == nil {
+		t.Fatal("Run with exhausted budget: want error, got nil")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("Run error is %T (%v), want *BudgetError", err, err)
+	}
+	if be.MaxEvents != 2 {
+		t.Fatalf("BudgetError.MaxEvents = %d, want 2", be.MaxEvents)
+	}
+	raw, jerr := json.Marshal(be)
+	if jerr != nil {
+		t.Fatalf("marshaling BudgetError: %v", jerr)
+	}
+	var decoded BudgetError
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshaling BudgetError: %v", err)
+	}
+	if decoded != *be {
+		t.Fatalf("BudgetError round trip = %+v, want %+v", decoded, *be)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s, err := New(garage(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue enough work that the periodic context poll must trip: an
+	// already-cancelled context fails the run without draining it.
+	for i := 0; i < 10*ctxCheckInterval; i++ {
+		v := int64(i % 2)
+		if err := s.Stimulate(Stimulus{Time: int64(100 + i), Block: "door", Value: 1 - v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = s.RunContext(ctx, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext with cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+func TestConfigCanonical(t *testing.T) {
+	// Defaults are applied, so a zero Config and an explicit-default
+	// Config render identically; Compiled is excluded by design.
+	zero := Config{}.Canonical()
+	explicit := Config{WireDelay: 1, MaxEvents: 1_000_000}.Canonical()
+	compiled := Config{Compiled: true}.Canonical()
+	if zero != explicit || zero != compiled {
+		t.Fatalf("canonical forms differ: %q / %q / %q", zero, explicit, compiled)
+	}
+	if delta := (Config{DeltaCycles: true}).Canonical(); delta == zero {
+		t.Fatalf("delta-cycle config renders like the default: %q", delta)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace()
+	if tr.Len() == 0 {
+		t.Fatal("trace is empty")
+	}
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.All(), back.All()) {
+		t.Fatalf("trace round trip:\n got %v\nwant %v", back.All(), tr.All())
+	}
+	// An empty trace marshals as [], not null.
+	empty, err := json.Marshal(&Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]" {
+		t.Fatalf("empty trace marshals as %s, want []", empty)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/behavior"
@@ -8,18 +9,24 @@ import (
 	"repro/internal/netlist"
 )
 
-// Config tunes the simulator.
+// Config tunes the simulator. The zero value is the default packet
+// semantics. Config is part of the service wire schema (the JSON field
+// names below) and of simulation cache keys (Canonical).
 type Config struct {
 	// WireDelay is the packet propagation delay per wire in ms. The
 	// default (0 value) is 1 ms, modeling the serial packet protocol.
 	// Ignored in DeltaCycles mode (propagation is instantaneous).
-	WireDelay int64
-	// MaxEvents bounds the number of processed events per Run call as a
-	// runaway guard; 0 means the default of 1,000,000.
-	MaxEvents int
+	WireDelay int64 `json:"wireDelay,omitempty"`
+	// MaxEvents bounds the total number of events processed over the
+	// simulator's lifetime as a runaway guard; 0 means the default of
+	// 1,000,000. The budget is cumulative across Run calls — an
+	// oscillating network cannot dodge it by being driven one
+	// timestamp at a time (which is exactly what RunToQuiescence
+	// does). Exceeding it fails the run with a *BudgetError.
+	MaxEvents int `json:"maxEvents,omitempty"`
 	// TraceAll records changes on every block output; by default only
 	// primary outputs are traced.
-	TraceAll bool
+	TraceAll bool `json:"traceAll,omitempty"`
 	// DeltaCycles selects the glitch-free reference semantics: wires
 	// propagate instantaneously and, within a timestamp, blocks
 	// evaluate in level order with all same-timestamp input changes
@@ -29,12 +36,12 @@ type Config struct {
 	// design and its synthesized counterpart — produce identical
 	// traces. The default packet mode instead models the serial
 	// asynchronous protocol with per-wire delays.
-	DeltaCycles bool
+	DeltaCycles bool `json:"deltaCycles,omitempty"`
 	// Compiled evaluates block behaviors on the bytecode VM instead of
 	// the tree-walking interpreter. Semantics are identical (enforced
 	// by property tests); large-network simulations run several times
 	// faster.
-	Compiled bool
+	Compiled bool `json:"compiled,omitempty"`
 }
 
 func (c Config) wireDelay() int64 {
@@ -49,6 +56,34 @@ func (c Config) maxEvents() int {
 		return 1_000_000
 	}
 	return c.MaxEvents
+}
+
+// Canonical renders the semantics-relevant configuration as canonical
+// cache-key text, with defaults applied — two Configs that produce the
+// same simulation render identically. Compiled is deliberately
+// excluded: the VM and the interpreter are semantically identical
+// (enforced by property tests), so it changes how fast a trace is
+// produced, never which one.
+func (c Config) Canonical() string {
+	return fmt.Sprintf("wd=%d|max=%d|all=%t|delta=%t",
+		c.wireDelay(), c.maxEvents(), c.TraceAll, c.DeltaCycles)
+}
+
+// BudgetError reports that a Run call exhausted its event budget
+// (Config.MaxEvents) — almost always a sign of an oscillating network.
+// The exported fields make the error JSON-serializable, so services
+// can return it structurally (and map it to a client-error status)
+// instead of string-matching.
+type BudgetError struct {
+	// Time is the simulation timestamp at which the budget ran out.
+	Time int64 `json:"time"`
+	// MaxEvents is the budget that was exhausted.
+	MaxEvents int `json:"maxEvents"`
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: event budget of %d exhausted at t=%d ms (possible oscillation)", e.MaxEvents, e.Time)
 }
 
 // Stimulus forces a sensor's output to a value at a point in time.
@@ -66,8 +101,11 @@ type Simulator struct {
 	queue  eventQueue
 	trace  Trace
 	now    int64
-	insts  []*instRT
-	levels map[graph.NodeID]int
+	// processed counts events handled over the simulator's lifetime,
+	// charged against Config.MaxEvents.
+	processed int
+	insts     []*instRT
+	levels    map[graph.NodeID]int
 }
 
 // instRT is the runtime state of one block instance.
@@ -249,13 +287,33 @@ func (s *Simulator) PortValue(blockName, port string) (int64, error) {
 // Run processes events until the queue is exhausted or the next event
 // is later than `until` (exclusive); simulation time then advances to
 // `until`. Run may be called repeatedly with increasing horizons.
+// Exhausting the event budget fails with a *BudgetError.
 func (s *Simulator) Run(until int64) error {
-	budget := s.cfg.maxEvents()
+	return s.RunContext(context.Background(), until)
+}
+
+// ctxCheckInterval is how many events RunContext processes between
+// context polls: frequent enough that a cancelled server request stops
+// within microseconds, rare enough that the hot loop does not pay an
+// atomic load per event.
+const ctxCheckInterval = 256
+
+// RunContext is Run with cooperative cancellation for server use: the
+// context is polled every few hundred events, so a runaway (or merely
+// long) simulation stops promptly when its request is cancelled or
+// times out.
+func (s *Simulator) RunContext(ctx context.Context, until int64) error {
+	max := s.cfg.maxEvents()
 	for s.queue.Len() > 0 && s.queue.peekTime() <= until {
-		if budget == 0 {
-			return fmt.Errorf("sim: event budget exhausted at t=%d ms (possible oscillation)", s.now)
+		if s.processed >= max {
+			return &BudgetError{Time: s.now, MaxEvents: max}
 		}
-		budget--
+		if s.processed%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: cancelled at t=%d ms: %w", s.now, err)
+			}
+		}
+		s.processed++
 		ev := s.queue.pop()
 		s.now = ev.time
 		switch ev.kind {
@@ -288,8 +346,14 @@ func (s *Simulator) Run(until int64) error {
 // RunToQuiescence processes all queued events regardless of horizon and
 // returns the time of the last processed event.
 func (s *Simulator) RunToQuiescence() (int64, error) {
+	return s.RunToQuiescenceContext(context.Background())
+}
+
+// RunToQuiescenceContext is RunToQuiescence with cooperative
+// cancellation (see RunContext).
+func (s *Simulator) RunToQuiescenceContext(ctx context.Context) (int64, error) {
 	for s.queue.Len() > 0 {
-		if err := s.Run(s.queue.peekTime()); err != nil {
+		if err := s.RunContext(ctx, s.queue.peekTime()); err != nil {
 			return s.now, err
 		}
 	}
@@ -476,7 +540,22 @@ func (e *runEnv) Schedule(tag int, delay int64) {
 	if delay < 1 {
 		delay = 1
 	}
-	e.sim.queue.push(event{time: e.sim.now + delay, kind: evTimer, node: int(e.id), tag: tag})
+	// The timer event carries the node's level priority (delta-cycle
+	// mode), so a timer coinciding with same-timestamp input changes
+	// pops after the producers have evaluated and their packets are
+	// queued — the block then evaluates once, with fresh inputs and
+	// the fired tag together. Without this, the timer's evaluation
+	// popped before the packets applied, splitting the timestamp into
+	// a stale-input evaluation plus a second one: semantics a merged
+	// (single-block) program cannot reproduce, which broke trace
+	// equivalence between a design and its synthesized counterpart.
+	e.sim.queue.push(event{
+		time: e.sim.now + delay,
+		prio: e.sim.prio(e.id),
+		kind: evTimer,
+		node: int(e.id),
+		tag:  tag,
+	})
 }
 
 func (e *runEnv) TimerFired(tag int) bool { return e.fired[tag] }

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/netlist"
+)
+
+// pulser builds sensor -> PulseGen(WIDTH) -> LED.
+func pulser(t testing.TB, width int64) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("pulser", block.Standard())
+	d.MustAddBlock("s", "Button")
+	d.MustAddBlockWithParams("pg", "PulseGen", map[string]int64{"WIDTH": width})
+	d.MustAddBlock("led", "LED")
+	d.MustConnect("s", "y", "pg", "a")
+	d.MustConnect("pg", "y", "led", "a")
+	return d
+}
+
+// TestDeltaTimerInputCoincidence pins the delta-cycle contract for a
+// timer firing at the exact timestamp an input changes: the block
+// evaluates ONCE, with the fresh input and the fired tag together —
+// not twice (a stale-input timer evaluation followed by an input
+// evaluation). The single-evaluation semantics is what a merged
+// (single-block) program exhibits, so it is load-bearing for trace
+// equivalence between a design and its synthesized counterpart.
+//
+// With PulseGen's behavior (rising-edge clause before timer clause), a
+// rising edge coinciding with the pulse-end timer yields active=1 then
+// active=0 in one evaluation: the pulse ends and is NOT re-triggered.
+func TestDeltaTimerInputCoincidence(t *testing.T) {
+	s, err := New(pulser(t, 100), Config{DeltaCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising edge at 50 starts a pulse; its end timer fires at 150 —
+	// the same timestamp as the next rising edge.
+	stims := []Stimulus{
+		{Time: 50, Block: "s", Value: 1},
+		{Time: 100, Block: "s", Value: 0},
+		{Time: 150, Block: "s", Value: 1},
+	}
+	if err := s.Stimulate(stims...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	changes := s.Trace().Of("led")
+	want := []Change{
+		{Time: 50, Block: "led", Port: "a", Value: 1},
+		{Time: 150, Block: "led", Port: "a", Value: 0},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("led trace = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("led trace[%d] = %+v, want %+v", i, changes[i], want[i])
+		}
+	}
+}

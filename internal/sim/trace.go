@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,11 +9,12 @@ import (
 
 // Change records one observed value change on a block's output port (or
 // on an output block's input, which is how primary outputs are traced).
+// The JSON field names are part of the service wire schema.
 type Change struct {
-	Time  int64
-	Block string
-	Port  string
-	Value int64
+	Time  int64  `json:"time"`
+	Block string `json:"block"`
+	Port  string `json:"port"`
+	Value int64  `json:"value"`
 }
 
 // Trace accumulates observed changes in time order.
@@ -63,6 +65,28 @@ func (tr *Trace) String() string {
 		fmt.Fprintf(&b, "%6d ms  %s.%s = %d\n", c.Time, c.Block, c.Port, c.Value)
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the trace as a flat JSON array of changes in
+// time order — the wire form shared by the eblocksd HTTP API and
+// eblocksim -json. A trace with no changes marshals as [], not null.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	changes := tr.changes
+	if changes == nil {
+		changes = []Change{}
+	}
+	return json.Marshal(changes)
+}
+
+// UnmarshalJSON rebuilds a trace from the wire form (the inverse of
+// MarshalJSON). The change order of the document is preserved.
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	var changes []Change
+	if err := json.Unmarshal(data, &changes); err != nil {
+		return fmt.Errorf("sim: trace: %w", err)
+	}
+	tr.changes = changes
+	return nil
 }
 
 // Blocks returns the sorted set of block names appearing in the trace.

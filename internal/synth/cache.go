@@ -24,11 +24,21 @@ type StageKey struct {
 	Constraints string
 	// Algorithm is the partitioner registry name.
 	Algorithm string
+	// Aux carries stage-specific key components beyond the capture
+	// triple. The Verified stage uses it for the stimulus-schedule
+	// hash and the simulation semantics (VerifyStageKey); it is empty
+	// for every stage keyed by the capture alone, so pre-existing keys
+	// render unchanged.
+	Aux string
 }
 
 // String renders the canonical cache-key text.
 func (k StageKey) String() string {
-	return k.Fingerprint + "|" + k.Constraints + "|" + k.Algorithm
+	s := k.Fingerprint + "|" + k.Constraints + "|" + k.Algorithm
+	if k.Aux != "" {
+		s += "|" + k.Aux
+	}
+	return s
 }
 
 // StageKey derives the capture artifact's content address. The

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,6 +25,15 @@ type VerifyOptions struct {
 	// depth times the wire delay, and any active timer windows are
 	// given this long to coincide).
 	SettleMillis int64
+	// MaxEvents bounds each underlying simulation run (see
+	// sim.Config.MaxEvents); 0 means the simulator default. An
+	// exhausted budget surfaces as a *sim.BudgetError. The budget
+	// never affects which outcome a successful verification produces,
+	// so it is excluded from the verification cache key.
+	MaxEvents int
+	// Ctx, when non-nil, cancels the underlying simulations
+	// cooperatively — the server-use knob, mirroring core.Options.Ctx.
+	Ctx context.Context
 }
 
 func (v VerifyOptions) steps() int {
@@ -47,12 +57,34 @@ func (v VerifyOptions) settle() int64 {
 	return v.SettleMillis
 }
 
-// Mismatch describes one disagreement between the two designs.
+func (v VerifyOptions) ctx() context.Context {
+	if v.Ctx == nil {
+		return context.Background()
+	}
+	return v.Ctx
+}
+
+// Resolved returns a copy of the options with the stimulus schedule
+// materialized against d: a nil Stimuli is replaced by the
+// deterministic random schedule Verify would generate from
+// Steps/Seed/SettleMillis. Resolving first makes the verification
+// cache key (VerifyStageKey) depend only on the concrete schedule,
+// never on how it was specified.
+func (v VerifyOptions) Resolved(d *netlist.Design) VerifyOptions {
+	if v.Stimuli == nil {
+		v.Stimuli = RandomStimuli(d, v.steps(), v.settle(), v.seed())
+	}
+	return v
+}
+
+// Mismatch describes one disagreement between the two designs. The
+// JSON field names are part of both the service wire schema and the
+// persisted Verified-stage artifact.
 type Mismatch struct {
-	Time     int64
-	Output   string
-	Original int64
-	Synth    int64
+	Time     int64  `json:"time"`
+	Output   string `json:"output"`
+	Original int64  `json:"original"`
+	Synth    int64  `json:"synthesized"`
 }
 
 // String summarizes the mismatch for logs and error messages.
@@ -104,11 +136,12 @@ func Verify(original, synthesized *netlist.Design, opts VerifyOptions) ([]Mismat
 	// design and its synthesized counterpart) cannot diverge through
 	// combinational path skew. The paper's model explicitly abstracts
 	// such timing away (Section 3.1).
-	so, err := sim.New(original, sim.Config{DeltaCycles: true})
+	cfg := sim.Config{DeltaCycles: true, MaxEvents: opts.MaxEvents}
+	so, err := sim.New(original, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("synth: verify: original: %w", err)
 	}
-	ss, err := sim.New(synthesized, sim.Config{DeltaCycles: true})
+	ss, err := sim.New(synthesized, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("synth: verify: synthesized: %w", err)
 	}
@@ -131,12 +164,13 @@ func Verify(original, synthesized *netlist.Design, opts VerifyOptions) ([]Mismat
 		}
 	}
 
+	ctx := opts.ctx()
 	var mismatches []Mismatch
 	check := func(t int64) error {
-		if err := so.Run(t); err != nil {
+		if err := so.RunContext(ctx, t); err != nil {
 			return err
 		}
-		if err := ss.Run(t); err != nil {
+		if err := ss.RunContext(ctx, t); err != nil {
 			return err
 		}
 		for _, name := range outputs {
@@ -168,11 +202,11 @@ func Verify(original, synthesized *netlist.Design, opts VerifyOptions) ([]Mismat
 		}
 	}
 	// Drain any remaining timers and compare the final steady state.
-	to, err := so.RunToQuiescence()
+	to, err := so.RunToQuiescenceContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := ss.RunToQuiescence()
+	ts, err := ss.RunToQuiescenceContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StageVerified names the Verified artifact in a StageCache. The
+// suffix is the artifact's wire-form version: bump it whenever the
+// encoding changes shape, so entries persisted by an older binary miss
+// (and are recomputed) instead of misparsing.
+const StageVerified = "verified.v1"
+
+// StimuliHash returns the canonical content hash of a stimulus
+// schedule: the hex SHA-256 of its script rendering (sim.FormatScript),
+// so any two ways of arriving at the same schedule — an explicit
+// script, a parsed wire form, a materialized random schedule — hash
+// identically. An empty schedule hashes the empty script.
+func StimuliHash(stimuli []sim.Stimulus) string {
+	sum := sha256.Sum256([]byte(sim.FormatScript(stimuli)))
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyStageKey derives the content address of a verification run:
+// the capture key extended (via StageKey.Aux) with the stimulus
+// schedule hash, the settle interval, and the simulation semantics.
+// Options are resolved against the capture's design first, so
+// equivalent random-schedule and explicit-schedule requests share one
+// address. The event budget is deliberately excluded — only successful
+// outcomes are cached, and those are budget-independent.
+func (ca *Captured) VerifyStageKey(opts VerifyOptions) StageKey {
+	opts = opts.Resolved(ca.Design)
+	k := ca.StageKey()
+	// sem=delta records that Verify pins delta-cycle semantics; if a
+	// future mode verifies under packet timing, its artifacts get a
+	// distinct address.
+	k.Aux = fmt.Sprintf("verify|stim=%s|settle=%d|sem=delta", StimuliHash(opts.Stimuli), opts.settle())
+	return k
+}
+
+// verifiedWire is the persisted encoding of a verification outcome.
+// The stimulus schedule itself is part of the key, not the payload.
+type verifiedWire struct {
+	Version    int        `json:"v"`
+	Stimuli    int        `json:"stimuli"`
+	Mismatches []Mismatch `json:"mismatches"`
+}
+
+const verifiedWireVersion = 1
+
+// encodeVerified renders a verification outcome in the portable wire
+// form.
+func encodeVerified(stimuli int, mm []Mismatch) ([]byte, error) {
+	if mm == nil {
+		mm = []Mismatch{}
+	}
+	return json.Marshal(verifiedWire{Version: verifiedWireVersion, Stimuli: stimuli, Mismatches: mm})
+}
+
+// decodeVerified rebuilds a verification outcome, rejecting unknown
+// encoding versions.
+func decodeVerified(raw []byte) (stimuli int, mm []Mismatch, err error) {
+	var w verifiedWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return 0, nil, err
+	}
+	if w.Version != verifiedWireVersion {
+		return 0, nil, fmt.Errorf("synth: unknown verified encoding version %d", w.Version)
+	}
+	return w.Stimuli, w.Mismatches, nil
+}
+
+// LookupVerified consults the cache for a verification outcome without
+// requiring the emitted artifact: the fast path for servers, which can
+// answer a repeated verification from the capture stage alone —
+// skipping merge, emit, and both simulations. The returned stimulus
+// count echoes the schedule length recorded with the artifact.
+func (ca *Captured) LookupVerified(cache StageCache, opts VerifyOptions) (stimuli int, mm []Mismatch, ok bool) {
+	if cache == nil {
+		return 0, nil, false
+	}
+	raw, ok := cache.GetStage(StageVerified, ca.VerifyStageKey(opts))
+	if !ok {
+		return 0, nil, false
+	}
+	stimuli, mm, err := decodeVerified(raw)
+	if err != nil {
+		// Undecodable (e.g. a torn or foreign entry): treat as a miss.
+		return 0, nil, false
+	}
+	return stimuli, mm, true
+}
+
+// VerifyCached is Emitted.Verify with stage-level memoization: on a
+// cache hit the recorded mismatch list is adopted without simulating
+// either design; on a miss the verification runs and its outcome is
+// stored under StageVerified. A nil cache, a miss, or an undecodable
+// entry all fall back to verifying; the returned bool reports whether
+// the outcome came from the cache. Only completed verifications are
+// cached — errors (cancellation, event-budget exhaustion) never are.
+func (e *Emitted) VerifyCached(cache StageCache, opts VerifyOptions) (*Verified, bool, error) {
+	opts = opts.Resolved(e.Design)
+	if _, mm, ok := e.LookupVerified(cache, opts); ok {
+		return &Verified{Emitted: e, Mismatches: mm}, true, nil
+	}
+	v, err := e.Verify(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if cache != nil {
+		if raw, err := encodeVerified(len(opts.Stimuli), v.Mismatches); err == nil {
+			cache.PutStage(StageVerified, e.VerifyStageKey(opts), raw)
+		}
+	}
+	return v, false, nil
+}
