@@ -18,11 +18,20 @@
 //	POST /v1/verify      synthesis request + stimulus schedule; Verified-stage cached
 //	GET  /v1/algorithms
 //	GET  /v1/stats
+//	GET  /v1/store/{id}  shared-origin artifact fetch (fleet cache)
+//	PUT  /v1/store/{id}  shared-origin artifact upload (fleet cache)
+//	GET  /metrics        Prometheus text exposition
 //	GET  /healthz
 //
+// With -store-remote pointed at another eblocksd, a fleet of instances
+// shares one artifact namespace: lookups miss through memory and disk
+// to the origin's /v1/store routes, writes flow through to it, and a
+// down origin degrades the instance to local-only (never a failed
+// request). Any instance with -store-dir can act as the origin.
+//
 // Synthesize, partition and verify responses carry an X-Cache header
-// naming the tier that served them: "memory", "disk" or "miss". See
-// docs/API.md for the full HTTP reference.
+// naming the tier that served them: "memory", "disk", "remote" or
+// "miss". See docs/API.md for the full HTTP reference.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting (graceful shutdown, 10 s grace period).
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,19 +56,34 @@ import (
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		cacheSize     = flag.Int("cache", 256, "in-memory result cache capacity (entries)")
-		workers       = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-		storeDir      = flag.String("store-dir", "", "directory for the persistent artifact store (empty = memory-only caching)")
-		storeMaxBytes = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "disk budget for the artifact store; least recently used entries are evicted beyond it")
-		storeMemBytes = flag.Int64("store-mem-bytes", store.DefaultMemBytes, "budget for the store's own memory tier (serves stage artifacts and post-eviction responses; -1 disables it, leaving -cache as the only memory tier)")
-		simMaxEvents  = flag.Int("sim-max-events", 0, "cap on the per-request simulation event budget for /v1/simulate and /v1/verify (0 = the simulator default of 1,000,000)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		cacheSize      = flag.Int("cache", 256, "in-memory result cache capacity (entries)")
+		workers        = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		storeDir       = flag.String("store-dir", "", "directory for the persistent artifact store (empty = memory-only caching)")
+		storeMaxBytes  = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "disk budget for the artifact store; least recently used entries are evicted beyond it")
+		storeMemBytes  = flag.Int64("store-mem-bytes", store.DefaultMemBytes, "budget for the store's own memory tier (serves stage artifacts and post-eviction responses; -1 disables it, leaving -cache as the only memory tier)")
+		storeRemote    = flag.String("store-remote", "", "base URL of a shared remote artifact origin — another eblocksd, e.g. http://cache.internal:8080 (its /v1/store routes are used); requires -store-dir. Lookups miss through memory and disk to it, writes flow through to it, and a down origin degrades this instance to local-only")
+		storeRemoteTMO = flag.Duration("store-remote-timeout", store.DefaultRemoteTimeout, "per-round-trip timeout for the remote artifact origin")
+		storeAuth      = flag.String("store-auth", "", "shared secret for the fleet's /v1/store routes: required of callers on this instance's origin routes and sent to the -store-remote origin (empty = no auth; rely on network isolation)")
+		simMaxEvents   = flag.Int("sim-max-events", 0, "cap on the per-request simulation event budget for /v1/simulate and /v1/verify (0 = the simulator default of 1,000,000)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents}
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents, StoreAuthToken: *storeAuth}
+	if *storeRemote != "" && *storeDir == "" {
+		log.Fatalf("eblocksd: -store-remote requires -store-dir (the remote tier layers beneath the local disk tier)")
+	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes, MemBytes: *storeMemBytes})
+		opts := store.Options{MaxBytes: *storeMaxBytes, MemBytes: *storeMemBytes}
+		if *storeRemote != "" {
+			base := strings.TrimRight(*storeRemote, "/")
+			if !strings.HasSuffix(base, "/v1/store") {
+				base += "/v1/store"
+			}
+			opts.Remote = store.NewRemote(base, store.RemoteOptions{Timeout: *storeRemoteTMO, AuthToken: *storeAuth})
+			log.Printf("eblocksd: sharing artifacts with remote origin %s", base)
+		}
+		st, err := store.Open(*storeDir, opts)
 		if err != nil {
 			log.Fatalf("eblocksd: opening store: %v", err)
 		}

@@ -1,0 +1,168 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelledWaiterUnblocks is the regression test for the
+// service's pre-consolidation flightGroup bug: waiters blocked on a
+// flight's done channel with no context, so one hung synthesis wedged
+// every coalesced request even after its client disconnected. A
+// cancelled waiter must return promptly with the context error while
+// the winner keeps running undisturbed.
+func TestCancelledWaiterUnblocks(t *testing.T) {
+	var g Group[string]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	winner := make(chan string, 1)
+	go func() {
+		v, _, _ := g.Do(context.Background(), "k", func() (string, error) {
+			close(started)
+			<-release
+			return "computed", nil
+		})
+		winner <- v
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, coalesced, err := g.Do(ctx, "k", func() (string, error) {
+			t.Error("waiter ran the computation itself")
+			return "", nil
+		})
+		if !coalesced {
+			t.Error("second call did not join the in-flight computation")
+		}
+		waiterErr <- err
+	}()
+
+	// Give the waiter time to join the flight, then cancel its
+	// context while the winner is still hung.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter stayed blocked on the hung flight (flightGroup regression)")
+	}
+
+	// The winner is unaffected by the waiter's departure.
+	close(release)
+	if v := <-winner; v != "computed" {
+		t.Fatalf("winner returned %q", v)
+	}
+}
+
+// TestSharesResult pins the coalescing contract: concurrent same-key
+// calls share one computation's value and error; exactly one caller
+// is the winner.
+func TestSharesResult(t *testing.T) {
+	var g Group[int]
+	var mu sync.Mutex
+	runs := 0
+	gate := make(chan struct{})
+
+	const callers = 6
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	joined := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], joined[i], _ = g.Do(context.Background(), "same", func() (int, error) {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				<-gate
+				return 7, nil
+			})
+		}(i)
+	}
+	// Wait until one flight is registered, then release it.
+	for g.Inflight() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if runs != 1 {
+		t.Errorf("computation ran %d times, want 1", runs)
+	}
+	winners := 0
+	for i := 0; i < callers; i++ {
+		if vals[i] != 7 {
+			t.Errorf("caller %d got %d, want 7", i, vals[i])
+		}
+		if !joined[i] {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Errorf("%d callers report being the winner, want 1", winners)
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("%d flights left registered after completion", g.Inflight())
+	}
+}
+
+// TestErrorsShared: a failing winner propagates its error to every
+// waiter; the key is reusable afterwards.
+func TestErrorsShared(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	if _, _, err := g.Do(context.Background(), "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("winner error = %v", err)
+	}
+	if v, joined, err := g.Do(context.Background(), "k", func() (int, error) { return 3, nil }); v != 3 || joined || err != nil {
+		t.Fatalf("key not reusable after a failed flight: %d, %v, %v", v, joined, err)
+	}
+}
+
+// TestPanicReleasesKey: a panicking winner must not wedge the key, and
+// waiters see ErrPanicked.
+func TestPanicReleasesKey(t *testing.T) {
+	var g Group[int]
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		g.Do(context.Background(), "k", func() (int, error) {
+			close(entered)
+			<-proceed
+			panic("kaboom")
+		})
+	}()
+	<-entered
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (int, error) { return 0, nil })
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(proceed)
+	select {
+	case err := <-waiterDone:
+		// The waiter either joined the panicked flight (ErrPanicked)
+		// or arrived after cleanup and computed cleanly.
+		if err != nil && !errors.Is(err, ErrPanicked) {
+			t.Fatalf("waiter error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking winner wedged the key")
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("%d flights left after panic", g.Inflight())
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"net/http/httptest"
 	"sort"
 	"testing"
 	"time"
@@ -85,6 +86,50 @@ func BenchmarkServiceDiskWarm(b *testing.B) {
 		if src != SourceDisk {
 			b.Fatalf("restart-warm iteration served from %v, want disk", src)
 		}
+	}
+}
+
+// BenchmarkServiceRemoteWarm measures a fleet-warm hit per iteration:
+// each iteration runs against a fresh Service over a fresh, empty
+// local store whose remote tier points at a shared populated origin —
+// so the hit pays the full remote path: HTTP round trip, framing and
+// checksum verification, local write-through, response decode. Compare
+// with BenchmarkServiceCold (what the fleet cache avoids) and
+// BenchmarkServiceDiskWarm (the next request's cost, once written
+// through).
+func BenchmarkServiceRemoteWarm(b *testing.B) {
+	d := benchDesign(b)
+	origin, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := New(Config{Store: origin})
+	if _, _, err := seed.Synthesize(context.Background(), Request{Design: d}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(origin.RemoteHandler())
+	defer ts.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir(), store.Options{Remote: store.NewRemote(ts.URL, store.RemoteOptions{})})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := New(Config{Store: st})
+		b.StartTimer()
+		_, src, err := s.Synthesize(context.Background(), Request{Design: d})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != SourceRemote {
+			b.Fatalf("fleet-warm iteration served from %v, want remote", src)
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
 	}
 }
 

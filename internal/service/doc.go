@@ -1,17 +1,22 @@
 // Package service is the production front-end of the synthesis
-// pipeline: a two-tier (memory over disk), content-addressed,
-// single-flight result cache over internal/synth plus a batch API that
-// fans many designs out across the bench worker pool. Results are
-// keyed on (design fingerprint, constraints, algorithm), so identical
-// requests — from any client, in any order, before or after a process
-// restart — synthesize once and then serve from cache, byte-for-byte
+// pipeline: a tiered (memory over disk over an optional fleet-shared
+// remote origin), content-addressed, single-flight result cache over
+// internal/synth plus a batch API that fans many designs out across
+// the bench worker pool. Results are keyed on (design fingerprint,
+// constraints, algorithm), so identical requests — from any client, in
+// any order, before or after a process restart, on any instance of a
+// fleet — synthesize once and then serve from cache, byte-for-byte
 // identical to the cold run.
 //
 // The first tier is an in-process LRU of decoded responses; the
-// optional second tier (Config.Store) is a persistent
-// internal/store artifact store that survives restarts and
-// additionally memoizes the partition stage separately from full
-// responses, so constraint sweeps and partition-only requests reuse
-// partitioning work. cmd/eblocksd serves this package over HTTP; see
-// http.go for the wire schema and docs/API.md for the full reference.
+// optional deeper tiers (Config.Store) are a persistent
+// internal/store artifact store that survives restarts, additionally
+// memoizes the partition and verification stages separately from full
+// responses (so constraint sweeps and partition-only requests reuse
+// partitioning work), and — with a remote backend configured — misses
+// through to another instance's shared artifact namespace.
+// cmd/eblocksd serves this package over HTTP, including the
+// shared-origin /v1/store routes and a Prometheus /metrics export;
+// see http.go for the wire schema and docs/API.md for the full
+// reference.
 package service

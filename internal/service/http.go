@@ -8,6 +8,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/store"
 )
 
 // maxRequestBody bounds request payloads (a 465-inner-block design
@@ -74,12 +75,15 @@ func (jr JSONRequest) toRequest() (Request, error) {
 //	POST /v1/verify      — full pipeline through the Verified stage
 //	GET  /v1/algorithms  — registered partitioner names
 //	GET  /v1/stats       — service + store counters, latency quantiles
+//	GET  /v1/store/{id}  — shared-origin artifact fetch (fleet cache)
+//	PUT  /v1/store/{id}  — shared-origin artifact upload (fleet cache)
+//	GET  /metrics        — the same counters, Prometheus text format
 //	GET  /healthz        — liveness probe
 //
 // Synthesize, partition and verify responses carry an X-Cache header
 // naming the tier that served them: "memory" (in-process cache),
-// "disk" (persistent store) or "miss" (computed by this request). See
-// docs/API.md for the full reference.
+// "disk" (persistent store), "remote" (fleet origin) or "miss"
+// (computed by this request). See docs/API.md for the full reference.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
@@ -147,6 +151,19 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
+	mux.Handle("/v1/store/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The shared-origin artifact routes (GET/PUT /v1/store/{id}),
+		// served by the store itself so any instance with a persistent
+		// store can act as its fleet's cache origin; optionally gated
+		// by the fleet's shared secret.
+		if s.store == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no persistent store configured"))
+			return
+		}
+		h := store.AuthMiddleware(s.cfg.StoreAuthToken, s.store.RemoteHandler())
+		http.StripPrefix("/v1/store", h).ServeHTTP(w, r)
+	}))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]bool{"ok": true})
 	})

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -21,9 +22,11 @@ type metrics struct {
 	verifies   uint64
 	memoryHits uint64
 	diskHits   uint64
+	remoteHits uint64
 	misses     uint64
 	coalesced  uint64
 	errors     uint64
+	latSum     time.Duration
 	lat        []time.Duration // ring buffer, latencyWindow capacity
 	latNext    int
 }
@@ -51,6 +54,8 @@ func (m *metrics) observeClass(d time.Duration, outcome outcome, class reqClass)
 		m.memoryHits++
 	case outcomeDiskHit:
 		m.diskHits++
+	case outcomeRemoteHit:
+		m.remoteHits++
 	case outcomeMiss:
 		m.misses++
 	case outcomeCoalesced:
@@ -58,6 +63,7 @@ func (m *metrics) observeClass(d time.Duration, outcome outcome, class reqClass)
 	case outcomeError:
 		m.errors++
 	}
+	m.latSum += d
 	if len(m.lat) < latencyWindow {
 		m.lat = append(m.lat, d)
 	} else {
@@ -71,6 +77,7 @@ type outcome int
 const (
 	outcomeMemoryHit outcome = iota
 	outcomeDiskHit
+	outcomeRemoteHit
 	outcomeMiss
 	outcomeCoalesced
 	outcomeError
@@ -98,14 +105,16 @@ type Stats struct {
 	// verification share of Requests.
 	SimulateRequests uint64 `json:"simulateRequests"`
 	VerifyRequests   uint64 `json:"verifyRequests"`
-	// CacheHits totals hits across both tiers (MemoryHits + DiskHits);
-	// kept for clients of the pre-store schema.
+	// CacheHits totals hits across every tier (MemoryHits + DiskHits +
+	// RemoteHits); kept for clients of the pre-store schema.
 	CacheHits uint64 `json:"cacheHits"`
 	// MemoryHits counts requests served from the in-process response
-	// cache; DiskHits counts requests served from the persistent
-	// store.
+	// cache (or the store's own memory tier); DiskHits counts requests
+	// served from the persistent store's disk tier; RemoteHits counts
+	// requests served from the fleet's shared remote origin.
 	MemoryHits uint64 `json:"memoryHits"`
 	DiskHits   uint64 `json:"diskHits"`
+	RemoteHits uint64 `json:"remoteHits"`
 	// CacheMisses counts cacheable requests that ran the synthesis
 	// pipeline; Coalesced counts requests that joined an identical
 	// in-flight synthesis instead of running their own
@@ -117,13 +126,34 @@ type Stats struct {
 	// CacheEntries is the current number of in-memory cached results.
 	CacheEntries int `json:"cacheEntries"`
 	// P50/P99 are request latency quantiles over a sliding window of
-	// recent requests, in nanoseconds.
-	P50 time.Duration `json:"p50Nanos"`
-	P99 time.Duration `json:"p99Nanos"`
+	// recent requests, in nanoseconds; LatencySum is the cumulative
+	// request latency across ALL requests (the Prometheus summary's
+	// _sum series).
+	P50        time.Duration `json:"p50Nanos"`
+	P99        time.Duration `json:"p99Nanos"`
+	LatencySum time.Duration `json:"latencySumNanos"`
 	// Store carries the persistent store's own counters (entries,
 	// bytes, per-tier hits, evictions); absent when the service runs
 	// memory-only.
 	Store *store.Stats `json:"store,omitempty"`
+}
+
+// nearestRank returns the index of the q-th quantile of a sorted
+// n-sample window under the nearest-rank definition: the smallest
+// index i such that at least q*n samples are <= lat[i], i.e.
+// ceil(q*n)-1. (The previous int(q*n) truncation picked the upper
+// median for even windows and walked one rank high elsewhere — e.g.
+// rank 100 of 100 for P99 — so tail quantiles over small windows
+// reported the maximum instead of the 99th percentile.)
+func nearestRank(q float64, n int) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }
 
 // snapshot computes the quantiles over the current window.
@@ -135,20 +165,22 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 		Requests:         m.requests,
 		SimulateRequests: m.simulates,
 		VerifyRequests:   m.verifies,
-		CacheHits:        m.memoryHits + m.diskHits,
+		CacheHits:        m.memoryHits + m.diskHits + m.remoteHits,
 		MemoryHits:       m.memoryHits,
 		DiskHits:         m.diskHits,
+		RemoteHits:       m.remoteHits,
 		CacheMisses:      m.misses,
 		Coalesced:        m.coalesced,
 		Errors:           m.errors,
 		CacheEntries:     cacheEntries,
+		LatencySum:       m.latSum,
 	}
 	m.mu.Unlock()
 
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		st.P50 = lat[len(lat)/2]
-		st.P99 = lat[len(lat)*99/100]
+		st.P50 = lat[nearestRank(0.50, len(lat))]
+		st.P99 = lat[nearestRank(0.99, len(lat))]
 	}
 	return st
 }

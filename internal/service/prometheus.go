@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// promText renders the service (and store) counters in the Prometheus
+// text exposition format, version 0.0.4. Every series carries the
+// eblocksd_ prefix; tiers and operations are labels, so dashboards sum
+// or split them without schema changes.
+func promText(st Stats) string {
+	var b strings.Builder
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	sample := func(name, labels string, v interface{}) {
+		if labels != "" {
+			fmt.Fprintf(&b, "%s{%s} %v\n", name, labels, v)
+		} else {
+			fmt.Fprintf(&b, "%s %v\n", name, v)
+		}
+	}
+	secs := func(d time.Duration) float64 { return d.Seconds() }
+
+	counter("eblocksd_requests_total", "Requests served across all endpoints.")
+	sample("eblocksd_requests_total", "", st.Requests)
+	counter("eblocksd_simulate_requests_total", "Simulation requests (the /v1/simulate share of eblocksd_requests_total).")
+	sample("eblocksd_simulate_requests_total", "", st.SimulateRequests)
+	counter("eblocksd_verify_requests_total", "Verification requests (the /v1/verify share of eblocksd_requests_total).")
+	sample("eblocksd_verify_requests_total", "", st.VerifyRequests)
+
+	counter("eblocksd_cache_hits_total", "Requests served from a cache tier, by the tier that answered.")
+	sample("eblocksd_cache_hits_total", `tier="memory"`, st.MemoryHits)
+	sample("eblocksd_cache_hits_total", `tier="disk"`, st.DiskHits)
+	sample("eblocksd_cache_hits_total", `tier="remote"`, st.RemoteHits)
+	counter("eblocksd_cache_misses_total", "Cacheable requests that ran the synthesis pipeline.")
+	sample("eblocksd_cache_misses_total", "", st.CacheMisses)
+	counter("eblocksd_coalesced_requests_total", "Requests that joined an identical in-flight computation.")
+	sample("eblocksd_coalesced_requests_total", "", st.Coalesced)
+	counter("eblocksd_request_errors_total", "Requests that failed.")
+	sample("eblocksd_request_errors_total", "", st.Errors)
+	gauge("eblocksd_cache_entries", "Responses resident in the in-process LRU.")
+	sample("eblocksd_cache_entries", "", st.CacheEntries)
+
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n",
+		"eblocksd_request_latency_seconds",
+		"Request latency: quantiles over a sliding window of recent requests, sum/count over all requests.",
+		"eblocksd_request_latency_seconds")
+	sample("eblocksd_request_latency_seconds", `quantile="0.5"`, secs(st.P50))
+	sample("eblocksd_request_latency_seconds", `quantile="0.99"`, secs(st.P99))
+	sample("eblocksd_request_latency_seconds_sum", "", secs(st.LatencySum))
+	sample("eblocksd_request_latency_seconds_count", "", st.Requests)
+
+	if ss := st.Store; ss != nil {
+		gauge("eblocksd_store_entries", "Artifacts resident in the store's disk tier.")
+		sample("eblocksd_store_entries", "", ss.Entries)
+		gauge("eblocksd_store_bytes", "Bytes used by the store's disk tier (entry files, headers included).")
+		sample("eblocksd_store_bytes", "", ss.BytesUsed)
+		gauge("eblocksd_store_mem_entries", "Artifacts resident in the store's memory tier.")
+		sample("eblocksd_store_mem_entries", "", ss.MemEntries)
+		gauge("eblocksd_store_mem_bytes", "Payload bytes resident in the store's memory tier.")
+		sample("eblocksd_store_mem_bytes", "", ss.MemBytesUsed)
+
+		counter("eblocksd_store_hits_total", "Store lookups served, by the tier that answered.")
+		sample("eblocksd_store_hits_total", `tier="memory"`, ss.MemoryHits)
+		sample("eblocksd_store_hits_total", `tier="disk"`, ss.DiskHits)
+		sample("eblocksd_store_hits_total", `tier="remote"`, ss.RemoteHits)
+		counter("eblocksd_store_misses_total", "Store lookups that missed every tier.")
+		sample("eblocksd_store_misses_total", "", ss.Misses)
+		counter("eblocksd_store_puts_total", "Artifacts written to the store locally.")
+		sample("eblocksd_store_puts_total", "", ss.Puts)
+		counter("eblocksd_store_evictions_total", "Entries evicted by the disk size bound.")
+		sample("eblocksd_store_evictions_total", "", ss.Evictions)
+		counter("eblocksd_store_corrupt_evicted_total", "Entries evicted because their checksum or framing failed on read.")
+		sample("eblocksd_store_corrupt_evicted_total", "", ss.CorruptEvicted)
+		counter("eblocksd_store_origin_requests_total", "Remote-protocol requests served by this instance as a shared origin, by operation.")
+		sample("eblocksd_store_origin_requests_total", `op="get"`, ss.OriginGets)
+		sample("eblocksd_store_origin_requests_total", `op="put"`, ss.OriginPuts)
+
+		counter("eblocksd_store_remote_dropped_writes_total", "Write-throughs shed because the bounded async pool was saturated.")
+		sample("eblocksd_store_remote_dropped_writes_total", "", ss.RemoteDroppedWrites)
+
+		if rs := ss.Remote; rs != nil {
+			counter("eblocksd_store_remote_fetches_total", "Lookups sent to the remote origin.")
+			sample("eblocksd_store_remote_fetches_total", "", rs.Gets)
+			counter("eblocksd_store_remote_fetch_hits_total", "Remote-origin lookups that returned a verified entry.")
+			sample("eblocksd_store_remote_fetch_hits_total", "", rs.Hits)
+			counter("eblocksd_store_remote_writes_total", "Artifacts written through to the remote origin.")
+			sample("eblocksd_store_remote_writes_total", "", rs.Puts)
+			counter("eblocksd_store_remote_errors_total", "Remote-origin operations that failed and degraded to local-only.")
+			sample("eblocksd_store_remote_errors_total", "", rs.Errors)
+		}
+	}
+	return b.String()
+}
+
+// handleMetrics serves GET /metrics: the same counters as /v1/stats in
+// the Prometheus text exposition format.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
+	fmt.Fprint(w, promText(s.Stats()))
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/netlist"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -33,6 +34,11 @@ type Config struct {
 	// the budget beneath the cap but never raise it above. 0 leaves
 	// the simulator default (1,000,000) as the effective ceiling.
 	SimMaxEvents int
+	// StoreAuthToken, when non-empty, gates the shared-origin
+	// /v1/store routes behind "Authorization: Bearer <token>" (see
+	// store.AuthMiddleware). Fleets whose members set the same token
+	// in their remote backends interoperate; everyone else gets 401.
+	StoreAuthToken string
 }
 
 func (c Config) cacheSize() int {
@@ -55,7 +61,11 @@ type Service struct {
 	cfg   Config
 	store *store.Store
 
-	group flightGroup
+	// cacheMu guards cache, the in-process LRU over full synthesis
+	// responses (the first tier above the store).
+	cacheMu sync.Mutex
+	cache   *lru
+
 	stats metrics
 	// sem bounds concurrent batch synthesis work across ALL
 	// SynthesizeAll calls, so parallel /v1/batch requests cannot
@@ -66,23 +76,54 @@ type Service struct {
 	// stage cache, waiters block on the channel and then read it.
 	partMu       sync.Mutex
 	partInflight map[string]chan struct{}
-	// simGroup/verifyGroup coalesce identical concurrent simulation
-	// and verification computations (see Simulate, Verify).
-	simGroup    sfGroup[*SimulateResponse]
-	verifyGroup sfGroup[verifyOutcome]
+	// synthGroup/simGroup/verifyGroup coalesce identical concurrent
+	// synthesis, simulation and verification computations onto one
+	// flight each (see Synthesize, Simulate, Verify). All three share
+	// the ctx-aware flight.Group: a waiter whose client disconnects stops
+	// waiting immediately; the winner's computation keeps running
+	// detached and still populates the caches.
+	synthGroup  flight.Group[synthOutcome]
+	simGroup    flight.Group[*SimulateResponse]
+	verifyGroup flight.Group[verifyOutcome]
+}
+
+// synthOutcome is what a synthesis flight produces: the response plus
+// the store tier that served it (TierNone when it was computed).
+type synthOutcome struct {
+	resp *Response
+	tier store.Tier
 }
 
 // New builds a Service.
 func New(cfg Config) *Service {
-	s := &Service{
+	return &Service{
 		cfg:          cfg,
 		store:        cfg.Store,
+		cache:        newLRU(cfg.cacheSize()),
 		sem:          make(chan struct{}, cfg.workers()),
 		partInflight: map[string]chan struct{}{},
 	}
-	s.group.cache = newLRU(cfg.cacheSize())
-	s.group.inflight = map[string]*flight{}
-	return s
+}
+
+// cachedResponse checks the in-process LRU.
+func (s *Service) cachedResponse(key string) (*Response, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.cache.get(key)
+}
+
+// cacheResponse installs a response in the in-process LRU.
+func (s *Service) cacheResponse(key string, r *Response) {
+	s.cacheMu.Lock()
+	s.cache.add(key, r)
+	s.cacheMu.Unlock()
+}
+
+// cacheLen reports the LRU's current size.
+func (s *Service) cacheLen() int {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.cache.len()
 }
 
 // Request names one synthesis job: a design plus the knobs that affect
@@ -120,16 +161,21 @@ const (
 	// SourceDisk: loaded from the persistent store (and promoted to
 	// the memory tier).
 	SourceDisk
+	// SourceRemote: fetched from the fleet's shared remote origin (and
+	// written through to the local tiers).
+	SourceRemote
 )
 
-// String renders the X-Cache header value: "memory", "disk" or
-// "miss".
+// String renders the X-Cache header value: "memory", "disk", "remote"
+// or "miss".
 func (s Source) String() string {
 	switch s {
 	case SourceMemory:
 		return "memory"
 	case SourceDisk:
 		return "disk"
+	case SourceRemote:
+		return "remote"
 	default:
 		return "miss"
 	}
@@ -214,12 +260,13 @@ func (s *Service) stageCache() synth.StageCache {
 }
 
 // Synthesize runs (or serves from cache) one synthesis job, reporting
-// the tier that served it; cached responses — memory or disk — are
-// byte-for-byte identical to cold ones. The context gates admission (a
-// request whose context is already cancelled fails fast), but a cold
-// run, once started, is completed and cached detached from the
-// originating context — so a client disconnect can never poison the
-// coalesced requests waiting on the same flight.
+// the tier that served it; cached responses — memory, disk or remote —
+// are byte-for-byte identical to cold ones. The context gates
+// admission and waiting (a request whose context is already cancelled
+// fails fast, and a coalesced waiter whose client disconnects stops
+// waiting), but a cold run, once started, is completed and cached
+// detached from the originating context — so a client disconnect can
+// never poison the coalesced requests waiting on the same flight.
 func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, Source, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -231,56 +278,75 @@ func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, Sourc
 		s.stats.observe(time.Since(start), outcomeError)
 		return nil, SourceMiss, err
 	}
-	key := ca.StageKey()
+	sk := ca.StageKey()
+	key := sk.String()
 
-	resp, src, err := s.group.do(key.String(), func() (*Response, store.Tier, error) {
-		// Second tier first: a response persisted by an earlier
-		// process (or evicted from memory) skips synthesis entirely.
+	if resp, ok := s.cachedResponse(key); ok {
+		s.stats.observe(time.Since(start), outcomeMemoryHit)
+		return resp, SourceMemory, nil
+	}
+
+	out, coalesced, err := s.synthGroup.Do(ctx, key, func() (synthOutcome, error) {
+		// Recheck the LRU now that this call owns the flight: the
+		// cache probe above and the flight admission are not one
+		// atomic step, so a winner that completed in between has
+		// already cached the response this call would recompute.
+		if resp, ok := s.cachedResponse(key); ok {
+			return synthOutcome{resp: resp, tier: store.TierMemory}, nil
+		}
+		// Second tier next: a response persisted by an earlier
+		// process (or evicted from memory) — or by another instance of
+		// the fleet, via the store's remote tier — skips synthesis
+		// entirely.
 		if s.store != nil {
-			if raw, tier, ok := s.store.Get(storeKey(key, stageResponse)); ok {
+			if raw, tier, ok := s.store.Get(storeKey(sk, stageResponse)); ok {
 				var r Response
 				if err := json.Unmarshal(raw, &r); err == nil {
-					return &r, tier, nil
+					s.cacheResponse(key, &r)
+					return synthOutcome{resp: &r, tier: tier}, nil
 				}
 			}
 		}
 		pt, _, err := ca.PartitionCached(context.WithoutCancel(ctx), s.stageCache())
 		if err != nil {
-			return nil, store.TierNone, err
+			return synthOutcome{}, err
 		}
 		mg, err := pt.Merge()
 		if err != nil {
-			return nil, store.TierNone, err
+			return synthOutcome{}, err
 		}
 		em, err := mg.Emit()
 		if err != nil {
-			return nil, store.TierNone, err
+			return synthOutcome{}, err
 		}
 		r, err := NewResponse(em.Output(), ca)
 		if err != nil {
-			return nil, store.TierNone, err
+			return synthOutcome{}, err
 		}
 		if s.store != nil {
 			if raw, err := json.Marshal(r); err == nil {
-				s.store.Put(storeKey(key, stageResponse), raw)
+				s.store.Put(storeKey(sk, stageResponse), raw)
 			}
 		}
-		return r, store.TierNone, nil
+		s.cacheResponse(key, r)
+		return synthOutcome{resp: r, tier: store.TierNone}, nil
 	})
 
 	source, o := SourceMiss, outcomeMiss
 	switch {
 	case err != nil:
 		o = outcomeError
-	case src == srcMemory:
-		source, o = SourceMemory, outcomeMemoryHit
-	case src == srcDisk:
-		source, o = SourceDisk, outcomeDiskHit
-	case src == srcCoalesced:
+	case coalesced:
 		o = outcomeCoalesced
+	case out.tier == store.TierMemory:
+		source, o = SourceMemory, outcomeMemoryHit
+	case out.tier == store.TierDisk:
+		source, o = SourceDisk, outcomeDiskHit
+	case out.tier == store.TierRemote:
+		source, o = SourceRemote, outcomeRemoteHit
 	}
 	s.stats.observe(time.Since(start), o)
-	return resp, source, err
+	return out.resp, source, err
 }
 
 // SynthesizeAll runs a batch of jobs over the bench worker pool,
@@ -336,10 +402,10 @@ func (s *Service) Partition(ctx context.Context, req Request) (*PartitionRespons
 		// first request through computes and writes the stage artifact;
 		// the rest wait on its channel and then serve from the store
 		// the winner just populated (each decodes against its own
-		// design build). This is deliberately looser than flightGroup:
-		// no result or error is shared, so a waiter whose winner
-		// failed (or panicked — the deferred close still runs) simply
-		// falls through to computing itself.
+		// design build). This is deliberately looser than the
+		// flight.Group-based flights: no result or error is shared, so a
+		// waiter whose winner failed (or panicked — the deferred close
+		// still runs) simply falls through to computing itself.
 		k := ca.StageKey().String()
 		s.partMu.Lock()
 		if ch, inflight := s.partInflight[k]; inflight {
@@ -376,6 +442,8 @@ func (s *Service) Partition(ctx context.Context, req Request) (*PartitionRespons
 		source, o = SourceMemory, outcomeMemoryHit
 	case hit && st.tier == store.TierDisk:
 		source, o = SourceDisk, outcomeDiskHit
+	case hit && st.tier == store.TierRemote:
+		source, o = SourceRemote, outcomeRemoteHit
 	case s.store != nil:
 		o = outcomeMiss
 	}
@@ -387,7 +455,7 @@ func (s *Service) Partition(ctx context.Context, req Request) (*PartitionRespons
 // Stats snapshots the service counters (including the persistent
 // store's, when one is configured).
 func (s *Service) Stats() Stats {
-	st := s.stats.snapshot(s.group.cacheLen())
+	st := s.stats.snapshot(s.cacheLen())
 	if s.store != nil {
 		ss := s.store.Stats()
 		st.Store = &ss

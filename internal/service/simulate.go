@@ -83,7 +83,7 @@ func (s *Service) Simulate(ctx context.Context, job SimulateJob) (*SimulateRespo
 	stimHash := synth.StimuliHash(job.Stimuli)
 
 	key := fmt.Sprintf("sim|%s|until=%d|%s|stim=%s", fp, job.Until, job.Config.Canonical(), stimHash)
-	resp, coalesced, err := s.simGroup.do(ctx, key, func() (*SimulateResponse, error) {
+	resp, coalesced, err := s.simGroup.Do(ctx, key, func() (*SimulateResponse, error) {
 		return runSimulation(fp, stimHash, job)
 	})
 

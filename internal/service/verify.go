@@ -93,7 +93,7 @@ func (s *Service) Verify(ctx context.Context, job VerifyJob) (*VerifyResponse, S
 	opts := job.verifyOptions(context.WithoutCancel(ctx), s.capSimEvents(job.MaxEvents)).Resolved(ca.Design)
 	key := ca.VerifyStageKey(opts)
 
-	out, coalesced, err := s.verifyGroup.do(ctx, key.String(), func() (verifyOutcome, error) {
+	out, coalesced, err := s.verifyGroup.Do(ctx, key.String(), func() (verifyOutcome, error) {
 		// Second tier first: a verified artifact persisted by an
 		// earlier process (or another handler) answers from the
 		// capture stage alone.
@@ -144,6 +144,8 @@ func (s *Service) Verify(ctx context.Context, job VerifyJob) (*VerifyResponse, S
 		source, o = SourceMemory, outcomeMemoryHit
 	case out.tier == store.TierDisk:
 		source, o = SourceDisk, outcomeDiskHit
+	case out.tier == store.TierRemote:
+		source, o = SourceRemote, outcomeRemoteHit
 	case s.store == nil:
 		o = outcomeUncached
 	}

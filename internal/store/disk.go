@@ -1,0 +1,399 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Disk is the persistent backend: a size-bounded, content-addressed
+// directory of checksummed entry files with an LRU index. It is the
+// extracted disk tier of the pre-split Store and keeps its semantics:
+// atomic temp+rename writes, crash-recovery sweep on open, corrupt
+// entries evicted (and their files deleted) on first read, readers
+// never blocked by eviction (an entry deleted mid-read degrades to a
+// miss). Safe for concurrent use.
+type Disk struct {
+	dir      string
+	maxBytes int64
+
+	mu     sync.Mutex
+	closed bool
+	// index: key id -> element of order (front = most recently used;
+	// element values are *diskEntry).
+	index map[string]*list.Element
+	order *list.List
+	bytes int64
+	// genSeq issues a globally monotonic generation per installed
+	// entry, so a reader that saw an older file can never clobber a
+	// newer payload in the caller's memory tier (see Store's
+	// promoteMemLocked) and corrupt-entry eviction can never delete a
+	// freshly written replacement.
+	genSeq uint64
+
+	gets, hits, puts          uint64
+	evictions, corruptEvicted uint64
+}
+
+// diskEntry is the index record for one on-disk artifact.
+type diskEntry struct {
+	id   string
+	size int64 // on-disk file size
+	// gen is the genSeq value of the install that produced the current
+	// file, so a reader that saw an older file cannot evict the
+	// replacement.
+	gen uint64
+}
+
+// OpenDisk opens (creating if needed) the disk backend rooted at dir:
+// sweeps temp files left by a crash, rebuilds the index from the entry
+// files present, and enforces the size bound (deleting evicted files).
+// maxBytes bounds total disk usage (entry files, headers included);
+// zero means DefaultMaxBytes, negative disables the bound. An
+// unreadable or uncreatable directory is an error; individual
+// malformed or unreadable entry files are skipped (they are evicted,
+// and their files deleted, on first access).
+func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	d := &Disk{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    map[string]*list.Element{},
+		order:    list.New(),
+	}
+	for _, sub := range []string{d.objectsDir(), d.tmpDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	// Crash recovery: a temp file is an interrupted write; the rename
+	// never happened, so the entry was never visible. Sweep them.
+	tmps, err := os.ReadDir(d.tmpDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	for _, t := range tmps {
+		os.Remove(filepath.Join(d.tmpDir(), t.Name()))
+	}
+	if err := d.loadIndex(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.enforceBoundLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+func (d *Disk) objectsDir() string { return filepath.Join(d.dir, "objects") }
+func (d *Disk) tmpDir() string     { return filepath.Join(d.dir, "tmp") }
+
+func (d *Disk) entryPath(id string) string {
+	return filepath.Join(d.objectsDir(), id[:2], id)
+}
+
+// loadIndex scans objects/ and seeds the LRU in modification-time
+// order.
+func (d *Disk) loadIndex() error {
+	fans, err := os.ReadDir(d.objectsDir())
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", d.objectsDir(), err)
+	}
+	type found struct {
+		id    string
+		size  int64
+		mtime int64
+	}
+	var entries []found
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(d.objectsDir(), fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			info, err := f.Info()
+			if err != nil || !info.Mode().IsRegular() {
+				continue
+			}
+			// Only well-formed entry names (the hex id, fanned under
+			// its own first two characters) are indexed; stray files
+			// are ignored rather than risking eviction removing the
+			// wrong path.
+			id := f.Name()
+			if !validEntryID(id) || id[:2] != fan.Name() {
+				continue
+			}
+			entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	// Newest first: PushBack fills the list head-to-tail, and the
+	// tail (the oldest entry) evicts first.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime > entries[j].mtime })
+	for _, e := range entries {
+		el := d.order.PushBack(&diskEntry{id: e.id, size: e.size})
+		d.index[e.id] = el
+		d.bytes += e.size
+	}
+	return nil
+}
+
+// Get implements Backend.
+func (d *Disk) Get(k Key) ([]byte, bool) {
+	payload, _, ok := d.get(k)
+	return payload, ok
+}
+
+// get returns the payload stored under k plus the generation of the
+// entry it was read from (the token the Store's memory tier uses to
+// order promotions). A missing, deleted-mid-read, or corrupt entry is
+// a miss (corrupt or unreadable entries are additionally evicted and
+// their files deleted).
+func (d *Disk) get(k Key) ([]byte, uint64, bool) {
+	id := k.id()
+
+	d.mu.Lock()
+	d.gets++
+	if d.closed {
+		d.mu.Unlock()
+		return nil, 0, false
+	}
+	el, ok := d.index[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, 0, false
+	}
+	d.order.MoveToFront(el)
+	gen := el.Value.(*diskEntry).gen
+	d.mu.Unlock()
+
+	// Read outside the lock: eviction may delete the file underneath
+	// us, which reads as a miss, not an error.
+	var payload []byte
+	raw, err := os.ReadFile(d.entryPath(id))
+	if err == nil {
+		payload, err = decodeEntry(raw, k)
+	}
+	if err != nil {
+		d.evictFailedRead(id, gen, err)
+		return nil, 0, false
+	}
+
+	d.mu.Lock()
+	d.hits++
+	d.mu.Unlock()
+	return payload, gen, true
+}
+
+// rawGet returns the framed entry bytes stored under id, verified
+// against the content address (the origin side of the remote
+// protocol). Promotes the entry in the LRU; corrupt entries are
+// evicted exactly like get.
+func (d *Disk) rawGet(id string) ([]byte, bool) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, false
+	}
+	el, ok := d.index[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.order.MoveToFront(el)
+	gen := el.Value.(*diskEntry).gen
+	d.mu.Unlock()
+
+	raw, err := os.ReadFile(d.entryPath(id))
+	if err == nil {
+		_, err = decodeEntryByID(raw, id)
+	}
+	if err != nil {
+		d.evictFailedRead(id, gen, err)
+		return nil, false
+	}
+	return raw, true
+}
+
+// evictFailedRead drops id after a failed read of generation gen —
+// unless a concurrent install has already replaced the file, in which
+// case the fresh entry is left alone.
+func (d *Disk) evictFailedRead(id string, gen uint64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur, ok := d.index[id]
+	if !ok || cur.Value.(*diskEntry).gen != gen {
+		return
+	}
+	d.removeLocked(id)
+	if !os.IsNotExist(err) {
+		// Present but corrupt or unreadable: delete the file (under
+		// the lock, so we cannot race a re-install's rename) to keep
+		// disk usage within accounting.
+		d.corruptEvicted++
+		os.Remove(d.entryPath(id))
+	}
+}
+
+// Put implements Backend.
+func (d *Disk) Put(k Key, data []byte) error {
+	_, err := d.put(k, data)
+	return err
+}
+
+// put stores data under k, replacing any existing entry and applying
+// the size bound, and returns the installed entry's generation.
+func (d *Disk) put(k Key, data []byte) (uint64, error) {
+	return d.install(k.id(), encodeEntry(k, data))
+}
+
+// install writes raw under id: temp file in the store's own tmp dir
+// (same filesystem), fully written and fsynced, then atomically
+// renamed into place under the mutex — so concurrent corrupt-entry
+// eviction can never delete a freshly written replacement.
+func (d *Disk) install(id string, raw []byte) (uint64, error) {
+	tmp, err := os.CreateTemp(d.tmpDir(), "put-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: put: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (uint64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: put: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: put: %w", err)
+	}
+	final := d.entryPath(id)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: put: %w", err)
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: put on closed store")
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		d.mu.Unlock()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: put: %w", err)
+	}
+	d.genSeq++
+	gen := d.genSeq
+	if el, ok := d.index[id]; ok {
+		e := el.Value.(*diskEntry)
+		d.bytes += int64(len(raw)) - e.size
+		e.size = int64(len(raw))
+		e.gen = gen
+		d.order.MoveToFront(el)
+	} else {
+		d.index[id] = d.order.PushFront(&diskEntry{id: id, size: int64(len(raw)), gen: gen})
+		d.bytes += int64(len(raw))
+	}
+	d.puts++
+	d.enforceBoundLocked()
+	d.mu.Unlock()
+	return gen, nil
+}
+
+// enforceBoundLocked evicts least-recently-used entries (and deletes
+// their files) until under the byte budget. The most recently used
+// entry is never evicted, even when it alone exceeds the budget.
+func (d *Disk) enforceBoundLocked() {
+	if d.maxBytes < 0 {
+		return
+	}
+	for d.bytes > d.maxBytes && d.order.Len() > 1 {
+		id := d.order.Back().Value.(*diskEntry).id
+		d.removeLocked(id)
+		d.evictions++
+		os.Remove(d.entryPath(id))
+	}
+}
+
+// removeLocked removes id from the index (callers delete the file and
+// maintain the outcome counters).
+func (d *Disk) removeLocked(id string) {
+	if el, ok := d.index[id]; ok {
+		d.order.Remove(el)
+		delete(d.index, id)
+		d.bytes -= el.Value.(*diskEntry).size
+	}
+}
+
+// touch marks id most recently used (a memory-tier hit above this
+// backend still counts as use of the underlying entry).
+func (d *Disk) touch(id string) {
+	d.mu.Lock()
+	if el, ok := d.index[id]; ok {
+		d.order.MoveToFront(el)
+	}
+	d.mu.Unlock()
+}
+
+// contains reports whether id is currently indexed.
+func (d *Disk) contains(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.index[id]
+	return ok
+}
+
+// counters returns the eviction counters the Store folds into its own
+// Stats.
+func (d *Disk) counters() (evictions, corruptEvicted uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.evictions, d.corruptEvicted
+}
+
+// Stats implements Backend.
+func (d *Disk) Stats() BackendStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return BackendStats{
+		Gets:      d.gets,
+		Hits:      d.hits,
+		Puts:      d.puts,
+		Errors:    d.corruptEvicted,
+		Entries:   d.order.Len(),
+		BytesUsed: d.bytes,
+	}
+}
+
+// Len returns the number of indexed entries.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len()
+}
+
+// Dir returns the backend's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Close implements Backend: subsequent Gets miss and Puts fail. All
+// written entries are already durable (entries are synced and renamed
+// at install time), so Close has nothing to flush.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// entryMagic starts every entry file; bump the version on any framing
+// change so old entries read as corrupt (and are evicted) rather than
+// misparsed. The same framing travels over the remote-store protocol,
+// so a version bump also makes mixed-version fleets miss cleanly
+// instead of misparsing each other's entries.
+const entryMagic = "eblocks-store-v1"
+
+// MaxEntryBytes bounds a single framed entry accepted over the remote
+// protocol (origin PUT bodies and remote GET responses). Synthesis
+// artifacts are a few KB; 64 MiB leaves orders of magnitude of
+// headroom while keeping a misbehaving peer from buffering forever.
+const MaxEntryBytes = 64 << 20
+
+// encodeEntry frames a payload with its self-describing header:
+//
+//	eblocks-store-v1
+//	key <canonical key text>
+//	len <payload length>
+//	sha256 <hex digest of payload>
+//	<blank line>
+//	<payload bytes>
+func encodeEntry(k Key, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(payload) + 256)
+	fmt.Fprintf(&b, "%s\nkey %s\nlen %d\nsha256 %s\n\n", entryMagic, k.String(), len(payload), hex.EncodeToString(sum[:]))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// parseEntry parses and verifies an entry's framing: magic, declared
+// length, and payload checksum. It returns the embedded canonical key
+// text alongside the payload so callers can bind the entry to the key
+// (decodeEntry) or to the content address alone (decodeEntryByID).
+func parseEntry(raw []byte) (keyText string, payload []byte, err error) {
+	rest, ok := bytes.CutPrefix(raw, []byte(entryMagic+"\n"))
+	if !ok {
+		return "", nil, fmt.Errorf("store: bad magic")
+	}
+	line := func(prefix string) (string, error) {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return "", fmt.Errorf("store: truncated header")
+		}
+		l := string(rest[:nl])
+		rest = rest[nl+1:]
+		if len(l) < len(prefix)+1 || l[:len(prefix)] != prefix || l[len(prefix)] != ' ' {
+			return "", fmt.Errorf("store: malformed header line %q", l)
+		}
+		return l[len(prefix)+1:], nil
+	}
+	keyText, err = line("key")
+	if err != nil {
+		return "", nil, err
+	}
+	lenText, err := line("len")
+	if err != nil {
+		return "", nil, err
+	}
+	want, err := strconv.Atoi(lenText)
+	if err != nil || want < 0 {
+		return "", nil, fmt.Errorf("store: bad length %q", lenText)
+	}
+	sumText, err := line("sha256")
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) < 1 || rest[0] != '\n' {
+		return "", nil, fmt.Errorf("store: missing header terminator")
+	}
+	payload = rest[1:]
+	if len(payload) != want {
+		return "", nil, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), want)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumText {
+		return "", nil, fmt.Errorf("store: payload checksum mismatch")
+	}
+	return keyText, payload, nil
+}
+
+// decodeEntry parses and verifies an entry file against the key it was
+// requested under: framing, declared length, payload checksum, and
+// (defense against hash collisions in the file namespace) the key text
+// itself.
+func decodeEntry(raw []byte, k Key) ([]byte, error) {
+	keyText, payload, err := parseEntry(raw)
+	if err != nil {
+		return nil, err
+	}
+	if keyText != k.String() {
+		return nil, fmt.Errorf("store: entry key mismatch")
+	}
+	return payload, nil
+}
+
+// decodeEntryByID parses and verifies an entry when only its content
+// address is known (the remote protocol addresses entries by id): the
+// embedded key text must hash to id, which binds the framing to the
+// address the same way decodeEntry binds it to the key.
+func decodeEntryByID(raw []byte, id string) ([]byte, error) {
+	keyText, payload, err := parseEntry(raw)
+	if err != nil {
+		return nil, err
+	}
+	if idForKeyText(keyText) != id {
+		return nil, fmt.Errorf("store: entry key does not hash to its id")
+	}
+	return payload, nil
+}
+
+// idForKeyText is the content address of a canonical key text: the hex
+// SHA-256 that names the entry on disk and over the remote protocol.
+func idForKeyText(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:])
+}
+
+// rawDigest is the strong validator of a framed entry (the remote
+// protocol's ETag): the hex SHA-256 of the entry bytes, header
+// included.
+func rawDigest(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

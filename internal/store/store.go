@@ -1,16 +1,12 @@
 package store
 
 import (
-	"bytes"
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
+	"context"
+	"errors"
 	"sync"
+
+	"repro/internal/flight"
 )
 
 // Key is the content address of one stored artifact. All four fields
@@ -40,11 +36,8 @@ func (k Key) String() string {
 }
 
 // id is the hex SHA-256 of the canonical key text: the entry's file
-// name on disk.
-func (k Key) id() string {
-	sum := sha256.Sum256([]byte(k.String()))
-	return hex.EncodeToString(sum[:])
-}
+// name on disk and its name over the remote protocol.
+func (k Key) id() string { return idForKeyText(k.String()) }
 
 // validEntryID reports whether name has the exact shape Key.id
 // produces: 64 lowercase hex characters.
@@ -71,15 +64,20 @@ const (
 	TierMemory
 	// TierDisk: read (and checksum-verified) from disk.
 	TierDisk
+	// TierRemote: fetched (and checksum-verified) from the remote
+	// origin, then written through to the local tiers.
+	TierRemote
 )
 
-// String returns "none", "memory" or "disk".
+// String returns "none", "memory", "disk" or "remote".
 func (t Tier) String() string {
 	switch t {
 	case TierMemory:
 		return "memory"
 	case TierDisk:
 		return "disk"
+	case TierRemote:
+		return "remote"
 	default:
 		return "none"
 	}
@@ -103,13 +101,14 @@ type Options struct {
 	// entirely, useful when the caller layers its own memory cache
 	// above the store.
 	MemBytes int64
-}
-
-func (o Options) maxBytes() int64 {
-	if o.MaxBytes == 0 {
-		return DefaultMaxBytes
-	}
-	return o.MaxBytes
+	// Remote, when non-nil, is the shared-origin third tier (usually a
+	// *Remote over another instance's /v1/store routes): Gets that
+	// miss both local tiers are fetched from it (single-flighted per
+	// entry) and written through to disk and memory; local Puts are
+	// written through to it. A failing remote degrades the store to
+	// local-only — it never fails a Get or a local Put. The Store owns
+	// the backend and closes it on Close.
+	Remote Backend
 }
 
 func (o Options) memBytes() int64 {
@@ -119,44 +118,63 @@ func (o Options) memBytes() int64 {
 	return o.MemBytes
 }
 
-// Store is a two-tier (memory over disk) content-addressed artifact
-// cache rooted at one directory. Safe for concurrent use; readers are
-// never blocked by eviction (an entry deleted mid-read degrades to a
-// miss). Entry files are only renamed into place or removed while the
-// store mutex is held, so the index and the directory cannot disagree
-// about which entries exist.
+// Store is a tiered (memory over disk over optional remote)
+// content-addressed artifact cache rooted at one directory. Safe for
+// concurrent use; readers are never blocked by eviction (an entry
+// deleted mid-read degrades to a miss). The disk tier is a Disk
+// backend; the optional remote tier is any Backend (see Options.
+// Remote), read through with per-entry single-flighting and written
+// through on Put.
 type Store struct {
-	dir  string
-	opts Options
+	disk   *Disk
+	remote Backend
+	opts   Options
 
 	mu     sync.Mutex
 	closed bool
-	// disk index: key id -> element of diskOrder (front = most
-	// recently used; element values are *diskEntry).
-	disk      map[string]*list.Element
-	diskOrder *list.List
-	diskBytes int64
 	// memory tier: key id -> element of memOrder (values *memEntry).
 	mem      map[string]*list.Element
 	memOrder *list.List
 	memBytes int64
 
-	stats Stats
+	memoryHits, diskHits, remoteHits, misses uint64
+	puts                                     uint64
+	originGets, originPuts                   uint64
+
+	// rflight single-flights remote fetches per entry id, so a
+	// stampede of identical misses costs the origin one request.
+	rflight flight.Group[remoteFetch]
+	// remoteWG tracks in-flight asynchronous write-throughs to the
+	// remote origin (see Put); Flush and Close wait on it. remoteSem
+	// bounds their concurrency: when a slow origin saturates the
+	// slots, further write-throughs are dropped (and counted) instead
+	// of accumulating goroutines and pinned entry buffers without
+	// limit.
+	remoteWG    sync.WaitGroup
+	remoteSem   chan struct{}
+	remoteDrops uint64
 }
 
-// diskEntry is the index record for one on-disk artifact.
-type diskEntry struct {
-	id   string
-	size int64 // on-disk file size
-	// gen increments every time a Put replaces this entry, so a
-	// reader that saw an older file cannot evict the replacement.
-	gen uint64
-}
+// maxRemoteWriteThroughs bounds concurrent asynchronous write-throughs
+// per store: enough to ride out origin latency spikes under bursty
+// cold traffic, small enough that a slow origin cannot pin more than
+// this many framed entries in memory.
+const maxRemoteWriteThroughs = 32
 
-// memEntry is one memory-tier payload.
+// memEntry is one memory-tier payload. gen is the disk generation the
+// payload was installed or read at; promotions carrying an older
+// generation are rejected, so a slow reader can never clobber a
+// fresher payload (see promoteMemLocked).
 type memEntry struct {
 	id      string
 	payload []byte
+	gen     uint64
+}
+
+// remoteFetch is the shared outcome of one single-flighted remote Get.
+type remoteFetch struct {
+	payload []byte
+	ok      bool
 }
 
 // Stats is a point-in-time snapshot of store counters.
@@ -167,117 +185,61 @@ type Stats struct {
 	// MemEntries / MemBytesUsed describe the in-memory first tier.
 	MemEntries   int   `json:"memEntries"`
 	MemBytesUsed int64 `json:"memBytesUsed"`
-	// MemoryHits / DiskHits / Misses split Get outcomes by tier.
+	// MemoryHits / DiskHits / RemoteHits / Misses split Get outcomes
+	// by the tier that served them.
 	MemoryHits uint64 `json:"memoryHits"`
 	DiskHits   uint64 `json:"diskHits"`
+	RemoteHits uint64 `json:"remoteHits"`
 	Misses     uint64 `json:"misses"`
-	// Puts counts successful writes; Evictions counts entries removed
-	// by the size bound; CorruptEvicted counts entries dropped because
-	// their checksum or framing failed on read (or the file was
-	// present but unreadable).
+	// Puts counts successful local writes; Evictions counts entries
+	// removed by the size bound; CorruptEvicted counts entries dropped
+	// because their checksum or framing failed on read (or the file
+	// was present but unreadable).
 	Puts           uint64 `json:"puts"`
 	Evictions      uint64 `json:"evictions"`
 	CorruptEvicted uint64 `json:"corruptEvicted"`
+	// OriginGets / OriginPuts count remote-protocol requests this
+	// store served as a shared origin (RemoteHandler).
+	OriginGets uint64 `json:"originGets"`
+	OriginPuts uint64 `json:"originPuts"`
+	// RemoteDroppedWrites counts write-throughs shed because the
+	// bounded async pool was saturated (a slow origin); local
+	// durability is unaffected.
+	RemoteDroppedWrites uint64 `json:"remoteDroppedWrites"`
+	// Remote carries the remote backend's own counters (fetches,
+	// write-throughs, errors); absent when the store is local-only.
+	Remote *BackendStats `json:"remote,omitempty"`
 }
 
-// Open opens (creating if needed) the store rooted at dir: sweeps
-// temp files left by a crash, rebuilds the index from the entry files
-// present, and enforces the size bound (deleting evicted files). An
-// unreadable or uncreatable directory is an error; individual
-// malformed or unreadable entry files are skipped (they are evicted,
-// and their files deleted, on first access).
+// Open opens (creating if needed) the store rooted at dir. The disk
+// tier recovers exactly as OpenDisk describes; the memory tier starts
+// empty; the remote tier, when configured, is taken as-is.
 func Open(dir string, opts Options) (*Store, error) {
-	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		disk:      map[string]*list.Element{},
-		diskOrder: list.New(),
-		mem:       map[string]*list.Element{},
-		memOrder:  list.New(),
-	}
-	for _, sub := range []string{s.objectsDir(), s.tmpDir()} {
-		if err := os.MkdirAll(sub, 0o755); err != nil {
-			return nil, fmt.Errorf("store: open %s: %w", dir, err)
-		}
-	}
-	// Crash recovery: a temp file is an interrupted write; the rename
-	// never happened, so the entry was never visible. Sweep them.
-	tmps, err := os.ReadDir(s.tmpDir())
+	disk, err := OpenDisk(dir, opts.MaxBytes)
 	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", dir, err)
-	}
-	for _, t := range tmps {
-		os.Remove(filepath.Join(s.tmpDir(), t.Name()))
-	}
-	if err := s.loadIndex(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.enforceBoundsLocked()
-	s.mu.Unlock()
-	return s, nil
+	return &Store{
+		disk:      disk,
+		remote:    opts.Remote,
+		opts:      opts,
+		mem:       map[string]*list.Element{},
+		memOrder:  list.New(),
+		remoteSem: make(chan struct{}, maxRemoteWriteThroughs),
+	}, nil
 }
 
-func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
-func (s *Store) tmpDir() string     { return filepath.Join(s.dir, "tmp") }
+// entryPath is the disk tier's file path for id (test hook).
+func (s *Store) entryPath(id string) string { return s.disk.entryPath(id) }
 
-func (s *Store) entryPath(id string) string {
-	return filepath.Join(s.objectsDir(), id[:2], id)
-}
-
-// loadIndex scans objects/ and seeds the disk LRU in modification-time
-// order.
-func (s *Store) loadIndex() error {
-	fans, err := os.ReadDir(s.objectsDir())
-	if err != nil {
-		return fmt.Errorf("store: scanning %s: %w", s.objectsDir(), err)
-	}
-	type found struct {
-		id    string
-		size  int64
-		mtime int64
-	}
-	var entries []found
-	for _, fan := range fans {
-		if !fan.IsDir() {
-			continue
-		}
-		files, err := os.ReadDir(filepath.Join(s.objectsDir(), fan.Name()))
-		if err != nil {
-			continue
-		}
-		for _, f := range files {
-			info, err := f.Info()
-			if err != nil || !info.Mode().IsRegular() {
-				continue
-			}
-			// Only well-formed entry names (the hex id, fanned under
-			// its own first two characters) are indexed; stray files
-			// are ignored rather than risking eviction removing the
-			// wrong path.
-			id := f.Name()
-			if !validEntryID(id) || id[:2] != fan.Name() {
-				continue
-			}
-			entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
-		}
-	}
-	// Newest first: PushBack fills the list head-to-tail, and the
-	// tail (the oldest entry) evicts first.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime > entries[j].mtime })
-	for _, e := range entries {
-		el := s.diskOrder.PushBack(&diskEntry{id: e.id, size: e.size})
-		s.disk[e.id] = el
-		s.diskBytes += e.size
-	}
-	return nil
-}
-
-// Get returns the payload stored under k and the tier that served it.
-// A missing, deleted-mid-read, or corrupt entry is a miss (corrupt or
-// unreadable entries are additionally evicted and their files
-// deleted). The returned slice is shared with the memory tier and
-// must not be modified.
+// Get returns the payload stored under k and the tier that served it:
+// memory, then disk, then (when configured) the remote origin. A
+// remote hit is written through to the local tiers, so the fleet pays
+// the origin round-trip once per entry per instance. A missing,
+// deleted-mid-read, or corrupt entry is a miss (corrupt or unreadable
+// disk entries are additionally evicted and their files deleted); a
+// down or failing remote is a miss, never an error. The returned
+// slice is shared with the memory tier and must not be modified.
 func (s *Store) Get(k Key) ([]byte, Tier, bool) {
 	id := k.id()
 
@@ -288,147 +250,169 @@ func (s *Store) Get(k Key) ([]byte, Tier, bool) {
 	}
 	if el, ok := s.mem[id]; ok {
 		s.memOrder.MoveToFront(el)
-		if del, ok := s.disk[id]; ok {
-			s.diskOrder.MoveToFront(del)
-		}
-		s.stats.MemoryHits++
+		s.memoryHits++
 		payload := el.Value.(*memEntry).payload
 		s.mu.Unlock()
+		s.disk.touch(id)
 		return payload, TierMemory, true
 	}
-	el, onDisk := s.disk[id]
-	var gen uint64
-	if onDisk {
-		s.diskOrder.MoveToFront(el)
-		gen = el.Value.(*diskEntry).gen
-	} else {
-		s.stats.Misses++
-	}
 	s.mu.Unlock()
-	if !onDisk {
-		return nil, TierNone, false
+
+	if payload, gen, ok := s.disk.get(k); ok {
+		s.mu.Lock()
+		s.diskHits++
+		s.promoteMemLocked(id, payload, gen)
+		s.mu.Unlock()
+		return payload, TierDisk, true
 	}
 
-	// Read outside the lock: eviction may delete the file underneath
-	// us, which reads as a miss, not an error.
-	var payload []byte
-	raw, err := os.ReadFile(s.entryPath(id))
-	if err == nil {
-		payload, err = decodeEntry(raw, k)
-	}
-	if err != nil {
-		s.mu.Lock()
-		// Evict only if the entry is still the generation we read; a
-		// concurrent Put may have just replaced it with a fresh file.
-		if cur, ok := s.disk[id]; ok && cur.Value.(*diskEntry).gen == gen {
-			s.dropLocked(id)
-			if !os.IsNotExist(err) {
-				// Present but corrupt or unreadable: delete the file
-				// (under the lock, so we cannot race a re-Put's
-				// rename) to keep disk usage within accounting.
-				s.stats.CorruptEvicted++
-				os.Remove(s.entryPath(id))
-			}
+	if s.remote != nil {
+		if payload, ok := s.fetchRemote(k, id); ok {
+			s.mu.Lock()
+			s.remoteHits++
+			s.mu.Unlock()
+			return payload, TierRemote, true
 		}
-		s.stats.Misses++
-		s.mu.Unlock()
-		return nil, TierNone, false
 	}
 
 	s.mu.Lock()
-	s.stats.DiskHits++
-	// Promote only if the entry is still the generation we read:
-	// otherwise a concurrent Put has already installed fresher bytes
-	// in the memory tier and we must not overwrite them with what is
-	// now a superseded payload. (This reader still returns the older
-	// payload it read — its Get began before the Put completed.)
-	if cur, ok := s.disk[id]; ok && cur.Value.(*diskEntry).gen == gen {
-		s.promoteMemLocked(id, payload)
-	}
+	s.misses++
 	s.mu.Unlock()
-	return payload, TierDisk, true
+	return nil, TierNone, false
 }
 
-// Put stores data under k, replacing any existing entry, and applies
-// the size bounds. The store retains data for its memory tier; the
-// caller must not modify it afterwards.
+// fetchRemote resolves one remote miss, single-flighted per entry id:
+// the winner fetches from the origin and writes the entry through to
+// the local tiers; waiters share its payload without re-fetching or
+// re-writing. The Background context means waiters ride the fetch out
+// (it is bounded by the remote backend's own timeout).
+func (s *Store) fetchRemote(k Key, id string) ([]byte, bool) {
+	f, _, _ := s.rflight.Do(context.Background(), id, func() (remoteFetch, error) {
+		payload, ok := s.remote.Get(k)
+		if ok {
+			// Write through so the next Get is local. A disk failure
+			// only skips the promotion; the fetched payload is still
+			// served.
+			if gen, err := s.disk.put(k, payload); err == nil {
+				s.mu.Lock()
+				s.promoteMemLocked(id, payload, gen)
+				s.mu.Unlock()
+			}
+		}
+		return remoteFetch{payload: payload, ok: ok}, nil
+	})
+	return f.payload, f.ok
+}
+
+// Put stores data under k, replacing any existing entry, applying the
+// size bounds, and writing through to the remote origin when one is
+// configured. The remote leg runs asynchronously — local durability is
+// complete when Put returns, and a slow or down origin never adds its
+// round trip to the caller's latency (failures are absorbed and
+// counted by the backend; Flush waits for pending legs). The store
+// retains data for its memory tier; the caller must not modify it
+// afterwards.
 func (s *Store) Put(k Key, data []byte) error {
-	id := k.id()
-	raw := encodeEntry(k, data)
-
-	// Prepare the entry outside the lock: temp file in the store's
-	// own tmp dir (same filesystem), fully written and fsynced.
-	tmp, err := os.CreateTemp(s.tmpDir(), "put-*")
-	if err != nil {
-		return fmt.Errorf("store: put: %w", err)
-	}
-	tmpName := tmp.Name()
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put: %w", err)
-	}
-	if _, err := tmp.Write(raw); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put: %w", err)
-	}
-	final := s.entryPath(id)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put: %w", err)
-	}
-
-	// The atomic rename and the index update happen under one
-	// critical section, so concurrent corrupt-entry eviction can
-	// never delete a freshly written replacement.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put on closed store")
+		return errClosed
 	}
-	if err := os.Rename(tmpName, final); err != nil {
-		s.mu.Unlock()
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put: %w", err)
-	}
-	if el, ok := s.disk[id]; ok {
-		e := el.Value.(*diskEntry)
-		s.diskBytes += int64(len(raw)) - e.size
-		e.size = int64(len(raw))
-		e.gen++
-		s.diskOrder.MoveToFront(el)
-	} else {
-		s.disk[id] = s.diskOrder.PushFront(&diskEntry{id: id, size: int64(len(raw))})
-		s.diskBytes += int64(len(raw))
-	}
-	s.stats.Puts++
-	s.promoteMemLocked(id, data)
-	s.enforceBoundsLocked()
 	s.mu.Unlock()
+
+	// Frame (and checksum) the entry once; the disk install and the
+	// remote write-through ship the identical bytes.
+	id := k.id()
+	raw := encodeEntry(k, data)
+	gen, err := s.disk.install(id, raw)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.puts++
+	s.promoteMemLocked(id, data, gen)
+	// The closed re-check and the WaitGroup Add share the critical
+	// section with Close's closed=true, so an Add can never race
+	// Close's Wait (a Put that loses the race skips the remote leg;
+	// its local write is already durable). The semaphore acquisition
+	// is non-blocking: a saturated origin sheds write-throughs (they
+	// are an optimization) rather than stalling Puts or accumulating
+	// goroutines.
+	spawn := false
+	if s.remote != nil && !s.closed {
+		select {
+		case s.remoteSem <- struct{}{}:
+			spawn = true
+			s.remoteWG.Add(1)
+		default:
+			s.remoteDrops++
+		}
+	}
+	s.mu.Unlock()
+
+	if spawn {
+		go func() {
+			defer func() {
+				<-s.remoteSem
+				s.remoteWG.Done()
+			}()
+			// Write-through failures are deliberately dropped here:
+			// the backend counts them (BackendStats.Errors) and cools
+			// down. Backends that accept pre-framed entries (Remote)
+			// are handed the bytes already built for the disk install.
+			if rp, ok := s.remote.(rawPutter); ok {
+				rp.PutRaw(id, raw)
+			} else {
+				s.remote.Put(k, data)
+			}
+		}()
+	}
 	return nil
 }
 
+// Flush blocks until every remote write-through issued so far has
+// completed (successfully or not). Local writes are durable at Put
+// time; Flush only matters to callers that need the origin to have
+// seen them — tests, or an orderly handoff before shutdown.
+func (s *Store) Flush() {
+	s.remoteWG.Wait()
+}
+
+// errClosed reports a Put on a store that has been closed.
+var errClosed = errors.New("store: put on closed store")
+
 // promoteMemLocked installs payload in the memory tier (unless the
-// tier is disabled or the payload alone exceeds its budget).
-func (s *Store) promoteMemLocked(id string, payload []byte) {
+// tier is disabled, the payload alone exceeds its budget, or a fresher
+// generation is already resident).
+func (s *Store) promoteMemLocked(id string, payload []byte, gen uint64) {
 	budget := s.opts.memBytes()
 	if budget < 0 || int64(len(payload)) > budget {
+		// The new payload cannot live in the tier — but a resident
+		// older version is now superseded and must not keep serving
+		// stale bytes (found by TestMemTierAccountingProperty: a Put
+		// whose payload outgrew the budget left the previous payload
+		// answering memory hits).
+		if el, ok := s.mem[id]; ok && gen >= el.Value.(*memEntry).gen {
+			e := el.Value.(*memEntry)
+			s.memOrder.Remove(el)
+			delete(s.mem, id)
+			s.memBytes -= int64(len(e.payload))
+		}
 		return
 	}
 	if el, ok := s.mem[id]; ok {
 		e := el.Value.(*memEntry)
+		if gen < e.gen {
+			// A concurrent install already promoted fresher bytes; a
+			// reader that began before it must not overwrite them.
+			return
+		}
 		s.memBytes += int64(len(payload)) - int64(len(e.payload))
 		e.payload = payload
+		e.gen = gen
 		s.memOrder.MoveToFront(el)
 	} else {
-		s.mem[id] = s.memOrder.PushFront(&memEntry{id: id, payload: payload})
+		s.mem[id] = s.memOrder.PushFront(&memEntry{id: id, payload: payload, gen: gen})
 		s.memBytes += int64(len(payload))
 	}
 	for s.memBytes > budget {
@@ -440,142 +424,54 @@ func (s *Store) promoteMemLocked(id string, payload []byte) {
 	}
 }
 
-// enforceBoundsLocked evicts least-recently-used disk entries (and
-// deletes their files) until under MaxBytes. The most recently used
-// entry is never evicted, even when it alone exceeds the budget.
-func (s *Store) enforceBoundsLocked() {
-	budget := s.opts.maxBytes()
-	if budget < 0 {
-		return
-	}
-	for s.diskBytes > budget && s.diskOrder.Len() > 1 {
-		id := s.diskOrder.Back().Value.(*diskEntry).id
-		s.dropLocked(id)
-		s.stats.Evictions++
-		os.Remove(s.entryPath(id))
-	}
-}
-
-// dropLocked removes id from both tiers' indexes (callers delete the
-// file and maintain the outcome counters).
-func (s *Store) dropLocked(id string) {
-	if el, ok := s.disk[id]; ok {
-		s.diskOrder.Remove(el)
-		delete(s.disk, id)
-		s.diskBytes -= el.Value.(*diskEntry).size
-	}
-	if el, ok := s.mem[id]; ok {
-		s.memOrder.Remove(el)
-		delete(s.mem, id)
-		s.memBytes -= int64(len(el.Value.(*memEntry).payload))
-	}
-}
-
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = s.diskOrder.Len()
-	st.BytesUsed = s.diskBytes
-	st.MemEntries = s.memOrder.Len()
-	st.MemBytesUsed = s.memBytes
+	st := Stats{
+		MemEntries:          s.memOrder.Len(),
+		MemBytesUsed:        s.memBytes,
+		MemoryHits:          s.memoryHits,
+		DiskHits:            s.diskHits,
+		RemoteHits:          s.remoteHits,
+		Misses:              s.misses,
+		Puts:                s.puts,
+		OriginGets:          s.originGets,
+		OriginPuts:          s.originPuts,
+		RemoteDroppedWrites: s.remoteDrops,
+	}
+	s.mu.Unlock()
+	ds := s.disk.Stats()
+	st.Entries = ds.Entries
+	st.BytesUsed = ds.BytesUsed
+	st.Evictions, st.CorruptEvicted = s.disk.counters()
+	if s.remote != nil {
+		rs := s.remote.Stats()
+		st.Remote = &rs
+	}
 	return st
 }
 
 // Len returns the number of entries in the disk tier.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.diskOrder.Len()
-}
+func (s *Store) Len() int { return s.disk.Len() }
 
 // Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+func (s *Store) Dir() string { return s.disk.Dir() }
 
-// Close marks the store closed; subsequent Gets miss and Puts fail.
-// All written entries are already durable (entries are synced and
-// renamed at Put time), so Close has nothing to flush.
+// Close marks the store closed and closes its backends; subsequent
+// Gets miss and Puts fail. All locally written entries are already
+// durable (entries are synced and renamed at Put time); Close only
+// waits for in-flight remote write-throughs (each bounded by the
+// remote backend's timeout) before closing the backends.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
-	return nil
-}
-
-// --- entry framing ------------------------------------------------------
-
-// entryMagic starts every entry file; bump the version on any framing
-// change so old entries read as corrupt (and are evicted) rather than
-// misparsed.
-const entryMagic = "eblocks-store-v1"
-
-// encodeEntry frames a payload with its self-describing header:
-//
-//	eblocks-store-v1
-//	key <canonical key text>
-//	len <payload length>
-//	sha256 <hex digest of payload>
-//	<blank line>
-//	<payload bytes>
-func encodeEntry(k Key, payload []byte) []byte {
-	sum := sha256.Sum256(payload)
-	var b bytes.Buffer
-	b.Grow(len(payload) + 256)
-	fmt.Fprintf(&b, "%s\nkey %s\nlen %d\nsha256 %s\n\n", entryMagic, k.String(), len(payload), hex.EncodeToString(sum[:]))
-	b.Write(payload)
-	return b.Bytes()
-}
-
-// decodeEntry parses and verifies an entry file: framing, declared
-// length, payload checksum, and (defense against hash collisions in
-// the file namespace) the key text itself.
-func decodeEntry(raw []byte, k Key) ([]byte, error) {
-	rest, ok := bytes.CutPrefix(raw, []byte(entryMagic+"\n"))
-	if !ok {
-		return nil, fmt.Errorf("store: bad magic")
-	}
-	line := func(prefix string) (string, error) {
-		nl := bytes.IndexByte(rest, '\n')
-		if nl < 0 {
-			return "", fmt.Errorf("store: truncated header")
+	s.mu.Unlock()
+	s.remoteWG.Wait()
+	err := s.disk.Close()
+	if s.remote != nil {
+		if rerr := s.remote.Close(); err == nil {
+			err = rerr
 		}
-		l := string(rest[:nl])
-		rest = rest[nl+1:]
-		if len(l) < len(prefix)+1 || l[:len(prefix)] != prefix || l[len(prefix)] != ' ' {
-			return "", fmt.Errorf("store: malformed header line %q", l)
-		}
-		return l[len(prefix)+1:], nil
 	}
-	keyText, err := line("key")
-	if err != nil {
-		return nil, err
-	}
-	if keyText != k.String() {
-		return nil, fmt.Errorf("store: entry key mismatch")
-	}
-	lenText, err := line("len")
-	if err != nil {
-		return nil, err
-	}
-	want, err := strconv.Atoi(lenText)
-	if err != nil || want < 0 {
-		return nil, fmt.Errorf("store: bad length %q", lenText)
-	}
-	sumText, err := line("sha256")
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) < 1 || rest[0] != '\n' {
-		return nil, fmt.Errorf("store: missing header terminator")
-	}
-	payload := rest[1:]
-	if len(payload) != want {
-		return nil, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), want)
-	}
-	sum := sha256.Sum256(payload)
-	if hex.EncodeToString(sum[:]) != sumText {
-		return nil, fmt.Errorf("store: payload checksum mismatch")
-	}
-	return payload, nil
+	return err
 }

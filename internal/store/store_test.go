@@ -503,12 +503,18 @@ func TestReopenPreservesLRUOrder(t *testing.T) {
 	}
 	s.Close()
 
-	s2, err := Open(dir, Options{MaxBytes: -1, MemBytes: -1})
+	// Reopen with a budget that admits the existing entries plus a
+	// sliver: one more Put over it evicts exactly the oldest.
+	probe, err := Open(dir, Options{MaxBytes: -1, MemBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One more Put over a tight budget evicts exactly the oldest.
-	s2.opts.MaxBytes = s2.Stats().BytesUsed + 100
+	budget := probe.Stats().BytesUsed + 100
+	probe.Close()
+	s2, err := Open(dir, Options{MaxBytes: budget, MemBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mustPut(t, s2, testKey(9), payload)
 	if _, _, ok := s2.Get(testKey(0)); ok {
 		t.Error("oldest entry survived post-reopen eviction")
