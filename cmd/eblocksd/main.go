@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/synthesize  {"design": {...} | "ebk": "...", "algorithm": "paredown", ...}
+//	POST /v1/delta       {"baseFingerprint"|"design"|"ebk", "edits": [...]} — incremental synthesis
 //	POST /v1/partition   same request shape; partitioning summary only
 //	POST /v1/batch       {"requests": [ ... ]}
 //	POST /v1/simulate    {"design"|"ebk"|"fingerprint", "script": "at 100 set door 1", ...}

@@ -9,18 +9,32 @@
 //	eblocksynth -design garage.ebk -o synth.ebk -c firmware.c
 //	eblocksynth -library "Podium Timer 3" -algo exhaustive -verify
 //	eblocksynth -library "Podium Timer 3" -json   # machine-readable output
+//
+// Incremental mode re-synthesizes an edited variant of a base design,
+// adopting every stage artifact the edits did not invalidate from a
+// persistent stage cache (shared with eblocksd when pointed at the
+// same -store-dir):
+//
+//	eblocksynth -base garage.ebk -edits edits.json -store-dir ~/.eblocks
+//
+// where edits.json is a JSON array of edit operations (the same schema
+// as the /v1/delta endpoint's "edits" field).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/netlist"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -39,18 +53,32 @@ func main() {
 		dot        = flag.Bool("dot", false, "print the partitioned design in Graphviz dot")
 		parts      = flag.Bool("partitions", false, "print the partition membership summary")
 		jsonOut    = flag.Bool("json", false, "emit the synthesized design + partition summary as JSON (the eblocksd response schema) instead of .ebk")
+		basePath   = flag.String("base", "", "incremental mode: path to (or library name of) the BASE design; -edits supplies the mutations")
+		editsPath  = flag.String("edits", "", "incremental mode: path to a JSON edit list (array of /v1/delta edit objects)")
+		storeDir   = flag.String("store-dir", "", "incremental mode: persistent stage-cache directory (share eblocksd's to adopt its artifacts); empty runs cold")
 	)
 	flag.StringVar(algorithm, "algorithm", "paredown", algoHelp+" (alias of -algo)")
 	flag.Parse()
 
-	d, err := cli.LoadDesign(*designPath, *library)
-	if err != nil {
-		fatal(err)
-	}
 	synthOpts := synth.Options{
 		Constraints: core.Constraints{MaxInputs: *maxIn, MaxOutputs: *maxOut},
 		Algorithm:   synth.Algorithm(*algorithm),
 		PaperMode:   *paperMode,
+	}
+	if *basePath != "" {
+		if *verify || *dot || *parts {
+			fatal(fmt.Errorf("-verify/-dot/-partitions are not supported with -base"))
+		}
+		runDelta(*basePath, *editsPath, *storeDir, synthOpts, *jsonOut, *outPath, *cPath)
+		return
+	}
+	if *editsPath != "" {
+		fatal(fmt.Errorf("-edits requires -base"))
+	}
+
+	d, err := cli.LoadDesign(*designPath, *library)
+	if err != nil {
+		fatal(err)
 	}
 	res, err := cli.SynthesizeReport(os.Stderr, d, cli.SynthesizeOptions{
 		Synth:  synthOpts,
@@ -98,6 +126,103 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runDelta is incremental mode: apply a JSON edit list to the base
+// design and re-synthesize, adopting unchanged stage artifacts from
+// the persistent stage cache. The adopted/recomputed split is reported
+// on stderr; the synthesized outputs go wherever full mode's would.
+func runDelta(basePath, editsPath, storeDir string, opts synth.Options, jsonOut bool, outPath, cPath string) {
+	if editsPath == "" {
+		fatal(fmt.Errorf("-base requires -edits (a JSON array of edit objects)"))
+	}
+	base, err := cli.LoadDesign(basePath, "")
+	if err != nil {
+		// Fall back to treating -base as a library name, mirroring the
+		// -design/-library pair without needing two flags.
+		var lerr error
+		if base, lerr = cli.LoadDesign("", basePath); lerr != nil {
+			fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(editsPath)
+	if err != nil {
+		fatal(err)
+	}
+	var edits []synth.Edit
+	if err := json.Unmarshal(raw, &edits); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", editsPath, err))
+	}
+
+	var cache synth.StageCache
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		cache = service.StageCacheOver(st)
+	}
+
+	ca, err := synth.Capture(base, opts)
+	if err != nil {
+		fatal(err)
+	}
+	em, stats, err := synth.SynthesizeDelta(context.Background(), ca, edits, cache)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "delta: partitionFromCache=%t adopted=%d recomputed=%d\n",
+		stats.PartitionFromCache, stats.Adopted, stats.Recomputed)
+
+	out := em.Output()
+	var payload string
+	if jsonOut {
+		resp, err := service.NewResponse(out, em.Captured)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		payload = string(raw) + "\n"
+	} else {
+		payload = netlistEBK(out)
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(payload), 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(payload)
+	}
+	if cPath != "" {
+		if err := os.WriteFile(cPath, []byte(combinedCSource(out)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// netlistEBK renders the synthesized design in .ebk text.
+func netlistEBK(out *synth.Output) string {
+	return netlist.Serialize(out.Synthesized)
+}
+
+// combinedCSource concatenates the firmware modules sorted by block
+// name, matching full mode's -c output.
+func combinedCSource(out *synth.Output) string {
+	names := make([]string, 0, len(out.CSource))
+	for n := range out.CSource {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(out.CSource[n])
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package block
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/behavior"
 )
@@ -163,11 +164,22 @@ func Standard() *Registry {
 	return r
 }
 
-// ProgrammableType builds the programmable compute block type with the
-// given port budget. The default behavior forwards nothing; synthesis
-// replaces it per instance with a merged program. Name encodes the
-// budget, e.g. "Prog2x2".
+// progTypeMemo caches ProgrammableType results by port budget. Types
+// are immutable and registries share them by pointer, so every caller
+// asking for the same budget can receive the same *Type; building one
+// parses a behavior program, which showed up on the cached-synthesis
+// hot path (one call per merge).
+var progTypeMemo sync.Map // [2]int -> *Type
+
+// ProgrammableType returns the programmable compute block type with
+// the given port budget. The default behavior forwards nothing;
+// synthesis replaces it per instance with a merged program. Name
+// encodes the budget, e.g. "Prog2x2". The returned type is shared
+// across calls and must not be mutated.
 func ProgrammableType(nin, nout int) *Type {
+	if t, ok := progTypeMemo.Load([2]int{nin, nout}); ok {
+		return t.(*Type)
+	}
 	if nin < 1 || nout < 1 {
 		panic(fmt.Sprintf("block: programmable type needs at least 1x1 ports, got %dx%d", nin, nout))
 	}
@@ -194,7 +206,7 @@ func ProgrammableType(nin, nout int) *Type {
 		src += fmt.Sprintf(" out%d = 0;", i)
 	}
 	src += " }\n"
-	return &Type{
+	t := &Type{
 		Name:    fmt.Sprintf("Prog%dx%d", nin, nout),
 		Kind:    Programmable,
 		Inputs:  inputs,
@@ -202,4 +214,6 @@ func ProgrammableType(nin, nout int) *Type {
 		Program: behavior.MustParse(src),
 		Doc:     fmt.Sprintf("programmable block with %d inputs and %d outputs (PIC16F628-class)", nin, nout),
 	}
+	progTypeMemo.Store([2]int{nin, nout}, t)
+	return t
 }

@@ -39,20 +39,18 @@ func MergePartition(d *netlist.Design, part graph.NodeSet) (*Merged, error) {
 		return nil, fmt.Errorf("codegen: empty partition")
 	}
 	g := d.Graph()
-	levels, err := g.Levels()
+	// All ordering below — member order, merged input pins, exported
+	// output pins, wire variables — follows the canonical merge order
+	// netlist.SubHasher defines, so the subgraph fingerprint addresses
+	// exactly the artifact this function produces. Everything is keyed
+	// by level, name, and pin (never NodeID), which makes the merged
+	// program independent of block insertion order: a design rebuilt
+	// with renumbered nodes merges byte-identically.
+	h, err := netlist.NewSubHasher(d)
 	if err != nil {
 		return nil, err
 	}
-
-	// Member order: non-decreasing level (the paper's evaluation
-	// order), node ID for determinism within a level.
-	members := part.Sorted()
-	sort.SliceStable(members, func(i, j int) bool {
-		if levels[members[i]] != levels[members[j]] {
-			return levels[members[i]] < levels[members[j]]
-		}
-		return members[i] < members[j]
-	})
+	members := h.MergeOrder(part)
 	for _, id := range members {
 		if g.Role(id) != graph.RoleInner {
 			return nil, fmt.Errorf("codegen: partition member %q is not an inner block", g.Name(id))
@@ -64,29 +62,20 @@ func MergePartition(d *netlist.Design, part graph.NodeSet) (*Merged, error) {
 
 	m := &Merged{Members: members}
 
-	// Merged inputs: distinct external driver ports, ordered by
-	// (node, pin) for determinism.
-	extIn := map[graph.Port]int{} // driver port -> merged input pin
-	var extInOrder []graph.Port
-	for _, id := range members {
-		for _, e := range g.InEdges(id) {
-			if !part.Has(e.From.Node) {
-				if _, seen := extIn[e.From]; !seen {
-					extIn[e.From] = 0 // assigned after sorting
-					extInOrder = append(extInOrder, e.From)
-				}
-			}
-		}
-	}
-	sort.Slice(extInOrder, func(i, j int) bool { return extInOrder[i].Less(extInOrder[j]) })
+	// Merged inputs: distinct external driver ports in canonical
+	// first-use order.
+	extInOrder := h.ExternalInputs(part)
+	extIn := make(map[graph.Port]int, len(extInOrder)) // driver port -> merged input pin
 	for k, p := range extInOrder {
 		extIn[p] = k
 	}
 	m.InputMap = extInOrder
 
-	// Wire variables: one per member output port, ordered (node, pin).
+	// Wire variables: one per member output port, numbered in
+	// (merge order, pin) order.
 	type wire struct {
 		port graph.Port
+		idx  int    // wire number (w<idx>)
 		name string // state variable name in the merged program
 		prev string // previous-value shadow, allocated on demand
 	}
@@ -95,27 +84,14 @@ func MergePartition(d *netlist.Design, part graph.NodeSet) (*Merged, error) {
 	for _, id := range members {
 		for pin := 0; pin < g.NumOut(id); pin++ {
 			p := graph.Port{Node: id, Pin: pin}
-			wires[p] = &wire{port: p}
+			wires[p] = &wire{port: p, idx: len(wireOrder), name: fmt.Sprintf("w%d", len(wireOrder))}
 			wireOrder = append(wireOrder, p)
 		}
 	}
-	sort.Slice(wireOrder, func(i, j int) bool { return wireOrder[i].Less(wireOrder[j]) })
-	for k, p := range wireOrder {
-		wires[p].name = fmt.Sprintf("w%d", k)
-	}
 
-	// Merged outputs: distinct member ports feeding outside, ordered.
-	var exported []graph.Port
-	seenExport := map[graph.Port]bool{}
-	for _, id := range members {
-		for _, e := range g.AllOutEdges(id) {
-			if !part.Has(e.To.Node) && !seenExport[e.From] {
-				seenExport[e.From] = true
-				exported = append(exported, e.From)
-			}
-		}
-	}
-	sort.Slice(exported, func(i, j int) bool { return exported[i].Less(exported[j]) })
+	// Merged outputs: distinct member ports feeding outside, in
+	// canonical order.
+	exported := h.ExportedOutputs(part)
 	m.OutputMap = exported
 
 	prog := &behavior.Program{Run: &behavior.BlockStmt{}}
@@ -240,7 +216,7 @@ func MergePartition(d *netlist.Design, part graph.NodeSet) (*Merged, error) {
 	for p := range needPrev {
 		prevPorts = append(prevPorts, p)
 	}
-	sort.Slice(prevPorts, func(i, j int) bool { return prevPorts[i].Less(prevPorts[j]) })
+	sort.Slice(prevPorts, func(i, j int) bool { return wires[prevPorts[i]].idx < wires[prevPorts[j]].idx })
 	for _, p := range prevPorts {
 		w := wires[p]
 		prog.States = append(prog.States, behavior.VarDecl{Name: prevName(w.name)})

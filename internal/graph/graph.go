@@ -102,6 +102,13 @@ type Graph struct {
 	nodes  []node
 	byName map[string]NodeID
 	edges  int
+
+	// Scratch space for the per-Connect cycle check, reused across
+	// calls so building an n-edge design costs O(n) allocations
+	// instead of O(n) per edge. Guarded by the same single-mutator
+	// rule as the rest of the struct.
+	scratchSeen  []bool
+	scratchStack []NodeID
 }
 
 // New returns an empty graph. Equivalent to new(Graph); provided for
@@ -256,8 +263,15 @@ func (g *Graph) reaches(src, dst NodeID) bool {
 	if src == dst {
 		return true
 	}
-	seen := make([]bool, len(g.nodes))
-	stack := []NodeID{src}
+	if cap(g.scratchSeen) < len(g.nodes) {
+		g.scratchSeen = make([]bool, len(g.nodes))
+	}
+	seen := g.scratchSeen[:len(g.nodes)]
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := append(g.scratchStack[:0], src)
+	defer func() { g.scratchStack = stack[:0] }()
 	seen[src] = true
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]

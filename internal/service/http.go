@@ -69,6 +69,7 @@ func (jr JSONRequest) toRequest() (Request, error) {
 // Handler returns the eblocksd HTTP API over this service:
 //
 //	POST /v1/synthesize  — synthesize one design (cached two-tier)
+//	POST /v1/delta       — incremental synthesis: base + edit list
 //	POST /v1/partition   — partition only, no merge/emit
 //	POST /v1/batch       — synthesize many designs over the worker pool
 //	POST /v1/simulate    — run the event-driven simulator (?format=vcd)
@@ -143,6 +144,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, BatchResponse{Responses: resps})
 	})
+	mux.HandleFunc("/v1/delta", s.handleDelta)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {

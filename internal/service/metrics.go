@@ -20,15 +20,40 @@ type metrics struct {
 	requests   uint64
 	simulates  uint64
 	verifies   uint64
+	deltas     uint64
 	memoryHits uint64
 	diskHits   uint64
 	remoteHits uint64
 	misses     uint64
 	coalesced  uint64
 	errors     uint64
-	latSum     time.Duration
-	lat        []time.Duration // ring buffer, latencyWindow capacity
-	latNext    int
+	// adopted/recomputed accumulate per-partition merge outcomes across
+	// all delta and cached-synthesis requests: how much merge work the
+	// stage cache absorbed vs. how much ran in-process.
+	adopted    uint64
+	recomputed uint64
+	// infeasibleHits counts requests answered from the negative cache
+	// (stage infeasible.v1) instead of re-running a pipeline known to
+	// fail.
+	infeasibleHits uint64
+	latSum         time.Duration
+	lat            []time.Duration // ring buffer, latencyWindow capacity
+	latNext        int
+}
+
+// observePartitions accumulates a merge's adopted/recomputed split.
+func (m *metrics) observePartitions(adopted, recomputed int) {
+	m.mu.Lock()
+	m.adopted += uint64(adopted)
+	m.recomputed += uint64(recomputed)
+	m.mu.Unlock()
+}
+
+// observeInfeasibleHit counts a negative-cache hit.
+func (m *metrics) observeInfeasibleHit() {
+	m.mu.Lock()
+	m.infeasibleHits++
+	m.mu.Unlock()
 }
 
 func (m *metrics) observe(d time.Duration, outcome outcome) {
@@ -48,6 +73,8 @@ func (m *metrics) observeClass(d time.Duration, outcome outcome, class reqClass)
 		m.simulates++
 	case classVerify:
 		m.verifies++
+	case classDelta:
+		m.deltas++
 	}
 	switch outcome {
 	case outcomeMemoryHit:
@@ -94,6 +121,7 @@ const (
 	classSynth reqClass = iota
 	classSimulate
 	classVerify
+	classDelta
 )
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -101,10 +129,21 @@ type Stats struct {
 	// Requests counts all requests served (synthesize, batch,
 	// partition, simulate, verify).
 	Requests uint64 `json:"requests"`
-	// SimulateRequests / VerifyRequests split out the simulation and
-	// verification share of Requests.
+	// SimulateRequests / VerifyRequests / DeltaRequests split out the
+	// simulation, verification and incremental-synthesis share of
+	// Requests.
 	SimulateRequests uint64 `json:"simulateRequests"`
 	VerifyRequests   uint64 `json:"verifyRequests"`
+	DeltaRequests    uint64 `json:"deltaRequests"`
+	// PartitionsAdopted / PartitionsRecomputed accumulate per-partition
+	// merge outcomes across delta and cached-synthesis requests: the
+	// share of merge work the stage cache absorbed.
+	PartitionsAdopted    uint64 `json:"partitionsAdopted"`
+	PartitionsRecomputed uint64 `json:"partitionsRecomputed"`
+	// InfeasibleHits counts requests answered from the negative cache
+	// (a persisted typed infeasibility outcome) without re-running the
+	// pipeline.
+	InfeasibleHits uint64 `json:"infeasibleHits"`
 	// CacheHits totals hits across every tier (MemoryHits + DiskHits +
 	// RemoteHits); kept for clients of the pre-store schema.
 	CacheHits uint64 `json:"cacheHits"`
@@ -162,18 +201,22 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 	lat := make([]time.Duration, len(m.lat))
 	copy(lat, m.lat)
 	st := Stats{
-		Requests:         m.requests,
-		SimulateRequests: m.simulates,
-		VerifyRequests:   m.verifies,
-		CacheHits:        m.memoryHits + m.diskHits + m.remoteHits,
-		MemoryHits:       m.memoryHits,
-		DiskHits:         m.diskHits,
-		RemoteHits:       m.remoteHits,
-		CacheMisses:      m.misses,
-		Coalesced:        m.coalesced,
-		Errors:           m.errors,
-		CacheEntries:     cacheEntries,
-		LatencySum:       m.latSum,
+		Requests:             m.requests,
+		SimulateRequests:     m.simulates,
+		VerifyRequests:       m.verifies,
+		DeltaRequests:        m.deltas,
+		PartitionsAdopted:    m.adopted,
+		PartitionsRecomputed: m.recomputed,
+		InfeasibleHits:       m.infeasibleHits,
+		CacheHits:            m.memoryHits + m.diskHits + m.remoteHits,
+		MemoryHits:           m.memoryHits,
+		DiskHits:             m.diskHits,
+		RemoteHits:           m.remoteHits,
+		CacheMisses:          m.misses,
+		Coalesced:            m.coalesced,
+		Errors:               m.errors,
+		CacheEntries:         cacheEntries,
+		LatencySum:           m.latSum,
 	}
 	m.mu.Unlock()
 

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 )
@@ -34,6 +35,14 @@ func promText(st Stats) string {
 	sample("eblocksd_simulate_requests_total", "", st.SimulateRequests)
 	counter("eblocksd_verify_requests_total", "Verification requests (the /v1/verify share of eblocksd_requests_total).")
 	sample("eblocksd_verify_requests_total", "", st.VerifyRequests)
+	counter("eblocksd_delta_requests_total", "Incremental synthesis requests (the /v1/delta share of eblocksd_requests_total).")
+	sample("eblocksd_delta_requests_total", "", st.DeltaRequests)
+
+	counter("eblocksd_partitions_total", "Per-partition merge outcomes across delta and cached synthesis: adopted from the stage cache vs. recomputed in-process.")
+	sample("eblocksd_partitions_total", `outcome="adopted"`, st.PartitionsAdopted)
+	sample("eblocksd_partitions_total", `outcome="recomputed"`, st.PartitionsRecomputed)
+	counter("eblocksd_infeasible_hits_total", "Requests answered from the negative cache (persisted typed infeasibility) without running the pipeline.")
+	sample("eblocksd_infeasible_hits_total", "", st.InfeasibleHits)
 
 	counter("eblocksd_cache_hits_total", "Requests served from a cache tier, by the tier that answered.")
 	sample("eblocksd_cache_hits_total", `tier="memory"`, st.MemoryHits)
@@ -66,6 +75,25 @@ func promText(st Stats) string {
 		sample("eblocksd_store_mem_entries", "", ss.MemEntries)
 		gauge("eblocksd_store_mem_bytes", "Payload bytes resident in the store's memory tier.")
 		sample("eblocksd_store_mem_bytes", "", ss.MemBytesUsed)
+
+		// Per-stage disk occupancy, for tuning -store-max-bytes against
+		// the workload's actual artifact mix. Stages are emitted in
+		// sorted order so scrapes diff cleanly.
+		if len(ss.Stages) > 0 {
+			stages := make([]string, 0, len(ss.Stages))
+			for stage := range ss.Stages {
+				stages = append(stages, stage)
+			}
+			sort.Strings(stages)
+			gauge("eblocksd_store_stage_entries", "Artifacts resident in the store's disk tier, by pipeline stage.")
+			for _, stage := range stages {
+				sample("eblocksd_store_stage_entries", fmt.Sprintf("stage=%q", stage), ss.Stages[stage].Entries)
+			}
+			gauge("eblocksd_store_stage_bytes", "Bytes used by the store's disk tier, by pipeline stage.")
+			for _, stage := range stages {
+				sample("eblocksd_store_stage_bytes", fmt.Sprintf("stage=%q", stage), ss.Stages[stage].Bytes)
+			}
+		}
 
 		counter("eblocksd_store_hits_total", "Store lookups served, by the tier that answered.")
 		sample("eblocksd_store_hits_total", `tier="memory"`, ss.MemoryHits)

@@ -259,6 +259,18 @@ func (s *Service) stageCache() synth.StageCache {
 	return &stages{store: s.store}
 }
 
+// StageCacheOver adapts a persistent store into the synthesis
+// pipeline's stage cache, using the same key layout the service does —
+// artifacts written by a CLI run are adopted by a server sharing the
+// store dir, and vice versa. A nil store yields a nil cache (stage
+// caching off).
+func StageCacheOver(st *store.Store) synth.StageCache {
+	if st == nil {
+		return nil
+	}
+	return &stages{store: st}
+}
+
 // Synthesize runs (or serves from cache) one synthesis job, reporting
 // the tier that served it; cached responses — memory, disk or remote —
 // are byte-for-byte identical to cold ones. The context gates
@@ -307,14 +319,27 @@ func (s *Service) Synthesize(ctx context.Context, req Request) (*Response, Sourc
 				}
 			}
 		}
-		pt, _, err := ca.PartitionCached(context.WithoutCancel(ctx), s.stageCache())
-		if err != nil {
-			return synthOutcome{}, err
+		// Negative cache: a marker from an earlier identical request that
+		// failed with the typed infeasibility error short-circuits the
+		// pipeline (infeasibility is as deterministic as success).
+		if s.infeasibleHit(sk) {
+			s.stats.observeInfeasibleHit()
+			return synthOutcome{}, synth.ErrUnrealizable
 		}
-		mg, err := pt.Merge()
+		// Cold path: partition, then merge with per-partition artifact
+		// caching — a cold synthesis populates the store with each
+		// partition's merge artifact, which is what later /v1/delta
+		// requests adopt.
+		cache := s.stageCache()
+		pt, _, err := ca.PartitionCached(context.WithoutCancel(ctx), cache)
 		if err != nil {
-			return synthOutcome{}, err
+			return synthOutcome{}, s.noteInfeasible(sk, err)
 		}
+		mg, ms, err := pt.MergeCached(cache)
+		if err != nil {
+			return synthOutcome{}, s.noteInfeasible(sk, err)
+		}
+		s.stats.observePartitions(ms.Adopted, ms.Recomputed)
 		em, err := mg.Emit()
 		if err != nil {
 			return synthOutcome{}, err
@@ -405,8 +430,11 @@ func (s *Service) Partition(ctx context.Context, req Request) (*PartitionRespons
 		// design build). This is deliberately looser than the
 		// flight.Group-based flights: no result or error is shared, so a
 		// waiter whose winner failed (or panicked — the deferred close
-		// still runs) simply falls through to computing itself.
-		k := ca.StageKey().String()
+		// still runs) simply falls through to computing itself. The
+		// inflight key matches the stage artifact's own key — the
+		// structural fingerprint — so requests that differ only in
+		// parameters (same partitioning) coalesce too.
+		k := ca.StructKey().String()
 		s.partMu.Lock()
 		if ch, inflight := s.partInflight[k]; inflight {
 			s.partMu.Unlock()

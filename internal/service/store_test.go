@@ -175,16 +175,21 @@ func TestPartitionStageReuse(t *testing.T) {
 }
 
 // TestStoreKeySeparatesStages guards the store key layout: the same
-// job's partition artifact and response artifact are distinct entries.
+// job's partition artifact, per-partition merge artifacts, and
+// response artifact are distinct entries.
 func TestStoreKeySeparatesStages(t *testing.T) {
 	st := openStore(t, t.TempDir())
 	svc := New(Config{Store: st})
-	if _, _, err := svc.Synthesize(context.Background(), libraryRequest(t, "Podium Timer 3")); err != nil {
+	resp, _, err := svc.Synthesize(context.Background(), libraryRequest(t, "Podium Timer 3"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	// One partition-stage entry plus one response entry.
-	if n := st.Len(); n != 2 {
-		t.Errorf("store holds %d entries after one synthesis, want 2 (partitioned + response)", n)
+	// One partitioned-stage entry, one merge artifact per partition,
+	// one response entry.
+	want := 2 + len(resp.Partitions)
+	if n := st.Len(); n != want {
+		t.Errorf("store holds %d entries after one synthesis, want %d (partitioned + %d merges + response)",
+			n, want, len(resp.Partitions))
 	}
 }
 

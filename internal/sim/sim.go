@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/behavior"
 	"repro/internal/graph"
@@ -113,12 +115,17 @@ type instRT struct {
 	id      graph.NodeID
 	name    string
 	prog    *behavior.Program // nil for sensors and primary outputs
+	idx     *progIndex        // name→index tables, nil iff prog is nil
 	inputs  []int64           // current value per input pin
 	prevIn  []int64           // per-pin value at previous evaluation
 	outputs []int64           // latched value per output pin
-	state   map[string]int64
-	params  map[string]int64
-	// fired holds the timer tags that triggered the current evaluation.
+	outPrev []int64           // pre-evaluation output snapshot (scratch)
+	// state/params are dense slices in the program's declaration order;
+	// idx maps the names the interpreter passes to their slots.
+	state  []int64
+	params []int64
+	// fired holds the timer tags that triggered the current evaluation
+	// (nil when none did — the common case pays no allocation).
 	fired map[int]bool
 	// Delta-cycle bookkeeping: evalAt is the timestamp for which a
 	// coalesced evaluation event is queued (or -1); pendingFired
@@ -130,6 +137,56 @@ type instRT struct {
 	machine *behavior.Machine
 	// env plumbing set during an evaluation
 	sim *Simulator
+}
+
+// progIndex is a behavior program's name→index tables: input and
+// output pin positions plus state/param slots in declaration order.
+// Programs are immutable after parsing, so the tables are resolved
+// once per program (memoized by pointer identity) and shared across
+// every instance and simulator evaluating it — the interpreter's Env
+// calls then cost one map probe instead of a linear scan per access.
+type progIndex struct {
+	in, out, state, param map[string]int
+}
+
+// progIndexMemo caches progIndex per program. Capped like the other
+// identity memos in the repo: a long-lived server simulating an
+// unbounded stream of distinct designs must not grow (or pin programs)
+// without bound, so the memo fully resets at the cap.
+var (
+	progIndexMemo   sync.Map // *behavior.Program -> *progIndex
+	progIndexLen    atomic.Int64
+	progIndexMaxLen = int64(4096)
+)
+
+func indexOf(p *behavior.Program) *progIndex {
+	if v, ok := progIndexMemo.Load(p); ok {
+		return v.(*progIndex)
+	}
+	idx := &progIndex{
+		in:    make(map[string]int, len(p.Inputs)),
+		out:   make(map[string]int, len(p.Outputs)),
+		state: make(map[string]int, len(p.States)),
+		param: make(map[string]int, len(p.Params)),
+	}
+	for i, n := range p.Inputs {
+		idx.in[n] = i
+	}
+	for i, n := range p.Outputs {
+		idx.out[n] = i
+	}
+	for i, d := range p.States {
+		idx.state[d.Name] = i
+	}
+	for i, d := range p.Params {
+		idx.param[d.Name] = i
+	}
+	if progIndexLen.Add(1) > progIndexMaxLen {
+		progIndexMemo.Range(func(k, _ any) bool { progIndexMemo.Delete(k); return true })
+		progIndexLen.Store(1)
+	}
+	progIndexMemo.Store(p, idx)
+	return idx
 }
 
 // New builds a simulator for the design. The design must validate.
@@ -152,9 +209,7 @@ func New(d *netlist.Design, cfg Config) (*Simulator, error) {
 			inputs:  make([]int64, g.NumIn(id)),
 			prevIn:  make([]int64, g.NumIn(id)),
 			outputs: make([]int64, g.NumOut(id)),
-			state:   map[string]int64{},
-			params:  map[string]int64{},
-			fired:   map[int]bool{},
+			outPrev: make([]int64, g.NumOut(id)),
 			evalAt:  -1,
 			sim:     s,
 		}
@@ -163,14 +218,17 @@ func New(d *netlist.Design, cfg Config) (*Simulator, error) {
 			if rt.prog == nil {
 				return nil, fmt.Errorf("sim: inner block %q has no behavior program", rt.name)
 			}
-			for _, st := range rt.prog.States {
-				rt.state[st.Name] = st.Init
+			rt.idx = indexOf(rt.prog)
+			rt.state = make([]int64, len(rt.prog.States))
+			for i, st := range rt.prog.States {
+				rt.state[i] = st.Init
 			}
-			for _, pd := range rt.prog.Params {
+			rt.params = make([]int64, len(rt.prog.Params))
+			for i, pd := range rt.prog.Params {
 				if v, ok := d.Param(id, pd.Name); ok {
-					rt.params[pd.Name] = v
+					rt.params[i] = v
 				} else {
-					rt.params[pd.Name] = pd.Init
+					rt.params[i] = pd.Init
 				}
 			}
 			if cfg.Compiled {
@@ -179,8 +237,8 @@ func New(d *netlist.Design, cfg Config) (*Simulator, error) {
 					return nil, fmt.Errorf("sim: compiling %q: %w", rt.name, err)
 				}
 				rt.machine = behavior.NewMachine(compiled)
-				for name, v := range rt.params {
-					rt.machine.SetParam(name, v)
+				for i, pd := range rt.prog.Params {
+					rt.machine.SetParam(pd.Name, rt.params[i])
 				}
 			}
 		}
@@ -459,11 +517,9 @@ func (s *Simulator) scheduleEval(rt *instRT, fired map[int]bool) {
 // changes and updates the previous-input snapshot used by edge
 // detection.
 func (s *Simulator) evaluate(rt *instRT, fired map[int]bool) error {
-	if fired == nil {
-		fired = map[int]bool{}
-	}
-	rt.fired = fired
-	before := append([]int64(nil), rt.outputs...)
+	rt.fired = fired // nil when no timer triggered this evaluation
+	before := rt.outPrev
+	copy(before, rt.outputs)
 	if rt.machine != nil {
 		copy(rt.machine.In, rt.inputs)
 		if err := rt.machine.Step((*runEnv)(rt)); err != nil {
@@ -487,53 +543,51 @@ func (s *Simulator) evaluate(rt *instRT, fired map[int]bool) error {
 
 // --- behavior.Env implementations -----------------------------------
 
-// runEnv adapts instRT to behavior.Env during normal evaluation.
+// runEnv adapts instRT to behavior.Env during normal evaluation. Name
+// resolution goes through the program's precomputed index tables
+// (progIndex) — one map probe instead of the linear pin scan the
+// interpreter hot path used to pay per access — and state/params live
+// in dense slices resolved the same way.
 type runEnv instRT
 
-func (e *runEnv) pinOf(name string) int {
-	for i, n := range e.prog.Inputs {
-		if n == name {
-			return i
-		}
-	}
-	return -1
-}
-
-func (e *runEnv) outPinOf(name string) int {
-	for i, n := range e.prog.Outputs {
-		if n == name {
-			return i
-		}
-	}
-	return -1
-}
-
 func (e *runEnv) Input(name string) (int64, bool) {
-	if pin := e.pinOf(name); pin >= 0 {
+	if pin, ok := e.idx.in[name]; ok {
 		return e.inputs[pin], true
 	}
 	return 0, false
 }
 
 func (e *runEnv) PrevInput(name string) (int64, bool) {
-	if pin := e.pinOf(name); pin >= 0 {
+	if pin, ok := e.idx.in[name]; ok {
 		return e.prevIn[pin], true
 	}
 	return 0, false
 }
 
 func (e *runEnv) SetOutput(name string, v int64) {
-	if pin := e.outPinOf(name); pin >= 0 {
+	if pin, ok := e.idx.out[name]; ok {
 		e.outputs[pin] = v
 	}
 }
 
-func (e *runEnv) State(name string) int64       { return e.state[name] }
-func (e *runEnv) SetState(name string, v int64) { e.state[name] = v }
+func (e *runEnv) State(name string) int64 {
+	if i, ok := e.idx.state[name]; ok {
+		return e.state[i]
+	}
+	return 0
+}
+
+func (e *runEnv) SetState(name string, v int64) {
+	if i, ok := e.idx.state[name]; ok {
+		e.state[i] = v
+	}
+}
 
 func (e *runEnv) Param(name string) (int64, bool) {
-	v, ok := e.params[name]
-	return v, ok
+	if i, ok := e.idx.param[name]; ok {
+		return e.params[i], true
+	}
+	return 0, false
 }
 
 func (e *runEnv) Schedule(tag int, delay int64) {
@@ -558,7 +612,7 @@ func (e *runEnv) Schedule(tag int, delay int64) {
 	})
 }
 
-func (e *runEnv) TimerFired(tag int) bool { return e.fired[tag] }
+func (e *runEnv) TimerFired(tag int) bool { return e.fired != nil && e.fired[tag] }
 func (e *runEnv) Now() int64              { return e.sim.now }
 
 // settleEnv is the power-up environment: identical to runEnv except
@@ -569,8 +623,8 @@ type settleEnv instRT
 func (e *settleEnv) Input(name string) (int64, bool)     { return (*runEnv)(e).Input(name) }
 func (e *settleEnv) PrevInput(name string) (int64, bool) { return (*runEnv)(e).PrevInput(name) }
 func (e *settleEnv) SetOutput(name string, v int64)      { (*runEnv)(e).SetOutput(name, v) }
-func (e *settleEnv) State(name string) int64             { return e.state[name] }
-func (e *settleEnv) SetState(name string, v int64)       { e.state[name] = v }
+func (e *settleEnv) State(name string) int64             { return (*runEnv)(e).State(name) }
+func (e *settleEnv) SetState(name string, v int64)       { (*runEnv)(e).SetState(name, v) }
 func (e *settleEnv) Param(name string) (int64, bool)     { return (*runEnv)(e).Param(name) }
 func (e *settleEnv) Schedule(tag int, delay int64)       { (*runEnv)(e).Schedule(tag, delay) }
 func (e *settleEnv) TimerFired(tag int) bool             { return false }

@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,12 +37,26 @@ type Disk struct {
 
 	gets, hits, puts          uint64
 	evictions, corruptEvicted uint64
+
+	// stageEntries/stageBytes break disk occupancy down by pipeline
+	// stage (the last component of the entry's key text), maintained
+	// incrementally at install and removal. Operators tune the size
+	// bound against this: it says whether the budget is going to
+	// responses, partition artifacts, or designs.
+	stageEntries map[string]int
+	stageBytes   map[string]int64
 }
 
 // diskEntry is the index record for one on-disk artifact.
 type diskEntry struct {
 	id   string
 	size int64 // on-disk file size
+	// stage is the pipeline stage parsed from the entry's key text
+	// ("response.v1", "partition.v1", ...); "unknown" when the header
+	// could not be read. Kept on the index record so removal can
+	// maintain the per-stage occupancy counters without re-reading the
+	// file.
+	stage string
 	// gen is the genSeq value of the install that produced the current
 	// file, so a reader that saw an older file cannot evict the
 	// replacement.
@@ -61,10 +76,12 @@ func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
 		maxBytes = DefaultMaxBytes
 	}
 	d := &Disk{
-		dir:      dir,
-		maxBytes: maxBytes,
-		index:    map[string]*list.Element{},
-		order:    list.New(),
+		dir:          dir,
+		maxBytes:     maxBytes,
+		index:        map[string]*list.Element{},
+		order:        list.New(),
+		stageEntries: map[string]int{},
+		stageBytes:   map[string]int64{},
 	}
 	for _, sub := range []string{d.objectsDir(), d.tmpDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
@@ -107,6 +124,7 @@ func (d *Disk) loadIndex() error {
 		id    string
 		size  int64
 		mtime int64
+		stage string
 	}
 	var entries []found
 	for _, fan := range fans {
@@ -130,18 +148,57 @@ func (d *Disk) loadIndex() error {
 			if !validEntryID(id) || id[:2] != fan.Name() {
 				continue
 			}
-			entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
+			entries = append(entries, found{
+				id:    id,
+				size:  info.Size(),
+				mtime: info.ModTime().UnixNano(),
+				stage: readEntryStage(filepath.Join(d.objectsDir(), fan.Name(), id)),
+			})
 		}
 	}
 	// Newest first: PushBack fills the list head-to-tail, and the
 	// tail (the oldest entry) evicts first.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime > entries[j].mtime })
 	for _, e := range entries {
-		el := d.order.PushBack(&diskEntry{id: e.id, size: e.size})
+		el := d.order.PushBack(&diskEntry{id: e.id, size: e.size, stage: e.stage})
 		d.index[e.id] = el
 		d.bytes += e.size
+		d.addStageLocked(e.stage, e.size)
 	}
 	return nil
+}
+
+// readEntryStage recovers the stage of an on-disk entry from its
+// header prefix (the index rebuild path — installs parse the framed
+// bytes they already hold). Unreadable or malformed files report
+// "unknown"; they will be evicted on first access like any other
+// corrupt entry.
+func readEntryStage(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	n, _ := io.ReadFull(f, buf)
+	return stageOfEntryHeader(buf[:n])
+}
+
+// addStageLocked / subStageLocked maintain the per-stage occupancy
+// counters (caller holds d.mu, or is still single-threaded in
+// OpenDisk).
+func (d *Disk) addStageLocked(stage string, size int64) {
+	d.stageEntries[stage]++
+	d.stageBytes[stage] += size
+}
+
+func (d *Disk) subStageLocked(stage string, size int64) {
+	d.stageEntries[stage]--
+	d.stageBytes[stage] -= size
+	if d.stageEntries[stage] <= 0 {
+		delete(d.stageEntries, stage)
+		delete(d.stageBytes, stage)
+	}
 }
 
 // Get implements Backend.
@@ -297,15 +354,20 @@ func (d *Disk) install(id string, raw []byte) (uint64, error) {
 	}
 	d.genSeq++
 	gen := d.genSeq
+	stage := stageOfEntryHeader(raw)
 	if el, ok := d.index[id]; ok {
 		e := el.Value.(*diskEntry)
 		d.bytes += int64(len(raw)) - e.size
+		d.subStageLocked(e.stage, e.size)
+		d.addStageLocked(stage, int64(len(raw)))
 		e.size = int64(len(raw))
+		e.stage = stage
 		e.gen = gen
 		d.order.MoveToFront(el)
 	} else {
-		d.index[id] = d.order.PushFront(&diskEntry{id: id, size: int64(len(raw)), gen: gen})
+		d.index[id] = d.order.PushFront(&diskEntry{id: id, size: int64(len(raw)), stage: stage, gen: gen})
 		d.bytes += int64(len(raw))
+		d.addStageLocked(stage, int64(len(raw)))
 	}
 	d.puts++
 	d.enforceBoundLocked()
@@ -334,7 +396,9 @@ func (d *Disk) removeLocked(id string) {
 	if el, ok := d.index[id]; ok {
 		d.order.Remove(el)
 		delete(d.index, id)
-		d.bytes -= el.Value.(*diskEntry).size
+		e := el.Value.(*diskEntry)
+		d.bytes -= e.size
+		d.subStageLocked(e.stage, e.size)
 	}
 }
 
@@ -362,6 +426,17 @@ func (d *Disk) counters() (evictions, corruptEvicted uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.evictions, d.corruptEvicted
+}
+
+// StageStats snapshots disk occupancy broken down by pipeline stage.
+func (d *Disk) StageStats() map[string]StageUsage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]StageUsage, len(d.stageEntries))
+	for stage, n := range d.stageEntries {
+		out[stage] = StageUsage{Entries: n, Bytes: d.stageBytes[stage]}
+	}
+	return out
 }
 
 // Stats implements Backend.

@@ -119,6 +119,28 @@ func decodeEntryByID(raw []byte, id string) ([]byte, error) {
 	return payload, nil
 }
 
+// stageOfEntryHeader extracts the Stage component (the last "|"-field
+// of the embedded key text) from a framed entry's header without
+// verifying the payload — the disk index uses it to attribute
+// occupancy per stage. Returns "unknown" for anything that does not
+// parse; raw may be a prefix of the file (the header fits well within
+// the first kilobyte).
+func stageOfEntryHeader(raw []byte) string {
+	rest, ok := bytes.CutPrefix(raw, []byte(entryMagic+"\n"))
+	if !ok || !bytes.HasPrefix(rest, []byte("key ")) {
+		return "unknown"
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return "unknown"
+	}
+	keyText := rest[len("key "):nl]
+	if i := bytes.LastIndexByte(keyText, '|'); i >= 0 && i+1 < len(keyText) {
+		return string(keyText[i+1:])
+	}
+	return "unknown"
+}
+
 // idForKeyText is the content address of a canonical key text: the hex
 // SHA-256 that names the entry on disk and over the remote protocol.
 func idForKeyText(text string) string {

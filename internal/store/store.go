@@ -206,9 +206,20 @@ type Stats struct {
 	// bounded async pool was saturated (a slow origin); local
 	// durability is unaffected.
 	RemoteDroppedWrites uint64 `json:"remoteDroppedWrites"`
+	// Stages breaks disk occupancy down by pipeline stage (the Stage
+	// component of the entry keys): how many entries, and how many
+	// bytes, each artifact kind is using of the disk budget. Operators
+	// tune -store-max-bytes against this.
+	Stages map[string]StageUsage `json:"stages,omitempty"`
 	// Remote carries the remote backend's own counters (fetches,
 	// write-throughs, errors); absent when the store is local-only.
 	Remote *BackendStats `json:"remote,omitempty"`
+}
+
+// StageUsage is one stage's share of disk occupancy.
+type StageUsage struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // Open opens (creating if needed) the store rooted at dir. The disk
@@ -444,6 +455,7 @@ func (s *Store) Stats() Stats {
 	st.Entries = ds.Entries
 	st.BytesUsed = ds.BytesUsed
 	st.Evictions, st.CorruptEvicted = s.disk.counters()
+	st.Stages = s.disk.StageStats()
 	if s.remote != nil {
 		rs := s.remote.Stats()
 		st.Remote = &rs

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -41,6 +42,12 @@ func (k StageKey) String() string {
 	return s
 }
 
+// constraintsText renders the canonical Constraints component of a
+// StageKey ("2x2|convex=true").
+func constraintsText(c core.Constraints) string {
+	return fmt.Sprintf("%dx%d|convex=%t", c.MaxInputs, c.MaxOutputs, c.RequireConvex)
+}
+
 // StageKey derives the capture artifact's content address. The
 // design fingerprint — a canonical re-serialization and SHA-256 of
 // the whole design — is computed once per capture and memoized, so
@@ -48,20 +55,60 @@ func (k StageKey) String() string {
 // all ask for it without repeating O(design) hashing on the hot path.
 func (ca *Captured) StageKey() StageKey {
 	ca.keyOnce.Do(func() {
-		c := ca.Constraints
 		ca.key = StageKey{
 			Fingerprint: netlist.Fingerprint(ca.Design),
-			Constraints: fmt.Sprintf("%dx%d|convex=%t", c.MaxInputs, c.MaxOutputs, c.RequireConvex),
+			Constraints: constraintsText(ca.Constraints),
 			Algorithm:   ca.Algorithm,
 		}
 	})
 	return ca.key
 }
 
+// StructKey derives the partitioned stage's content address: like
+// StageKey, but with the structure-only fingerprint
+// (netlist.StructuralFingerprint) in the Fingerprint slot. Every
+// registered algorithm partitions on graph structure alone, so keying
+// the partitioned artifact this way lets designs that differ only in
+// parameters or programs — the common case for incremental edits —
+// share one cached partitioning. Memoized like StageKey.
+func (ca *Captured) StructKey() StageKey {
+	ca.structOnce.Do(func() {
+		ca.structKey = StageKey{
+			Fingerprint: netlist.StructuralFingerprint(ca.Design),
+			Constraints: constraintsText(ca.Constraints),
+			Algorithm:   ca.Algorithm,
+		}
+	})
+	return ca.structKey
+}
+
+// SubKey derives the content address of one partition's merge artifact
+// within this capture: the subgraph fingerprint plus the constraints
+// and algorithm (constraints determine port padding; the algorithm is
+// kept so artifacts remain attributable, though equal subgraphs merge
+// equally under any algorithm).
+func (ca *Captured) SubKey(subFingerprint string) StageKey {
+	return StageKey{
+		Fingerprint: subFingerprint,
+		Constraints: constraintsText(ca.Constraints),
+		Algorithm:   ca.Algorithm,
+	}
+}
+
 // StagePartitioned names the Partitioned artifact in a StageCache;
 // stage caches and the artifact store use it as the Stage component of
-// their keys.
-const StagePartitioned = "partitioned"
+// their keys. The .v2 suffix records the keying change from the full
+// design fingerprint to the structural fingerprint (StructKey) —
+// entries written under the v1 scheme miss cleanly instead of being
+// consulted with the wrong key semantics.
+const StagePartitioned = "partitioned.v2"
+
+// StagePartitionMerge names per-partition merge artifacts: the merged
+// program of one partition, keyed by the subgraph fingerprint
+// (Captured.SubKey). This is the unit of reuse for incremental
+// synthesis — an edit recomputes only the partitions whose subgraph
+// fingerprint changed and adopts the rest from the store.
+const StagePartitionMerge = "partition.v1"
 
 // StageCache is the hook through which the pipeline memoizes stage
 // artifacts. Implementations must be safe for concurrent use; the
@@ -78,7 +125,9 @@ type StageCache interface {
 // cache hit the partitioning result is decoded and adopted without
 // running the algorithm, so callers that sweep emission-side options
 // — or re-synthesize a design partitioned in an earlier process —
-// reuse the expensive partition stage. A nil cache, a miss, or an
+// reuse the expensive partition stage. The cache is keyed on the
+// structural fingerprint (StructKey): designs differing only in
+// parameters or programs share one entry. A nil cache, a miss, or an
 // undecodable entry all fall back to computing; the returned bool
 // reports whether the artifact came from the cache.
 func (ca *Captured) PartitionCached(ctx context.Context, cache StageCache) (*Partitioned, bool, error) {
@@ -86,7 +135,7 @@ func (ca *Captured) PartitionCached(ctx context.Context, cache StageCache) (*Par
 		pt, err := ca.Partition(ctx)
 		return pt, false, err
 	}
-	key := ca.StageKey()
+	key := ca.StructKey()
 	if raw, ok := cache.GetStage(StagePartitioned, key); ok {
 		if res, err := decodeResult(raw, ca.Design.Graph()); err == nil {
 			return ca.Adopt(res), true, nil
@@ -144,16 +193,50 @@ func encodeResult(res *core.Result, g *graph.Graph) ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// decodeResult rebuilds a partitioning result against g, resolving
-// block names back to node IDs. Any unknown name fails the decode
-// (the artifact belongs to a different design).
-func decodeResult(raw []byte, g *graph.Graph) (*core.Result, error) {
-	var w resultWire
-	if err := json.Unmarshal(raw, &w); err != nil {
+// resultMemo caches the design-independent half of decodeResult —
+// JSON unmarshal and version check — keyed by the raw artifact bytes.
+// Incremental synthesis adopts the same partitioned artifact on every
+// request of an edit session, and re-parsing it dominated the cached
+// partition stage. The name-to-NodeID resolution below stays per-call:
+// it is the part that depends on the adopting design. Reset past
+// resultMemoMax entries, like the other artifact memos.
+var resultMemo = struct {
+	sync.RWMutex
+	m map[string]*resultWire
+}{m: map[string]*resultWire{}}
+
+const resultMemoMax = 4096
+
+func memoizedResultWire(raw []byte) (*resultWire, error) {
+	resultMemo.RLock()
+	w, ok := resultMemo.m[string(raw)] // no alloc: map lookup by []byte conversion
+	resultMemo.RUnlock()
+	if ok {
+		return w, nil
+	}
+	w = new(resultWire)
+	if err := json.Unmarshal(raw, w); err != nil {
 		return nil, err
 	}
 	if w.Version != resultWireVersion {
 		return nil, fmt.Errorf("synth: unknown result encoding version %d", w.Version)
+	}
+	resultMemo.Lock()
+	if len(resultMemo.m) >= resultMemoMax {
+		resultMemo.m = map[string]*resultWire{}
+	}
+	resultMemo.m[string(raw)] = w
+	resultMemo.Unlock()
+	return w, nil
+}
+
+// decodeResult rebuilds a partitioning result against g, resolving
+// block names back to node IDs. Any unknown name fails the decode
+// (the artifact belongs to a different design).
+func decodeResult(raw []byte, g *graph.Graph) (*core.Result, error) {
+	w, err := memoizedResultWire(raw)
+	if err != nil {
+		return nil, err
 	}
 	lookup := func(name string) (graph.NodeID, error) {
 		id := g.Lookup(name)

@@ -147,8 +147,9 @@ func TestPartitionCachedBadEntryFallsBack(t *testing.T) {
 	}
 	cache := newMapStageCache()
 
-	// Garbage entry: recompute, don't fail.
-	cache.PutStage(StagePartitioned, ca.StageKey(), []byte("{not json"))
+	// Garbage entry: recompute, don't fail. (The partitioned stage is
+	// keyed on the structural fingerprint.)
+	cache.PutStage(StagePartitioned, ca.StructKey(), []byte("{not json"))
 	pt, hit, err := ca.PartitionCached(context.Background(), cache)
 	if err != nil {
 		t.Fatalf("garbage cache entry surfaced as error: %v", err)
@@ -169,7 +170,7 @@ func TestPartitionCachedBadEntryFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.PutStage(StagePartitioned, ca.StageKey(), raw)
+	cache.PutStage(StagePartitioned, ca.StructKey(), raw)
 	if _, hit, err := ca.PartitionCached(context.Background(), cache); err != nil || hit {
 		t.Errorf("foreign-design entry: hit=%v err=%v, want recompute", hit, err)
 	}

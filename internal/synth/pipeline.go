@@ -22,7 +22,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/behavior"
 	"repro/internal/block"
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -45,9 +47,13 @@ type Captured struct {
 
 	// keyOnce/key memoize StageKey (the design fingerprint is
 	// expensive); Captured artifacts are shared by pointer, so the
-	// hash is computed at most once per capture.
+	// hash is computed at most once per capture. structOnce/structKey
+	// do the same for the structure-only key (StructKey).
 	keyOnce sync.Once
 	key     StageKey
+
+	structOnce sync.Once
+	structKey  StageKey
 }
 
 // Capture validates the design and resolves the run parameters.
@@ -112,20 +118,10 @@ type Merged struct {
 // whose contracted block graph is cyclic fails here with
 // ErrUnrealizable.
 func (p *Partitioned) Merge() (*Merged, error) {
-	g := p.Design.Graph()
-	c := p.Constraints
-	ioOnly := core.Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs}
-	if err := p.Result.Validate(g, ioOnly); err != nil {
-		return nil, fmt.Errorf("synth: %w", err)
-	}
-	ct, err := g.Contract(p.Result.Partitions)
-	if err != nil {
+	if err := p.validateForMerge(); err != nil {
 		return nil, err
 	}
-	if !ct.Acyclic() {
-		return nil, ErrUnrealizable
-	}
-
+	c := p.Constraints
 	m := &Merged{
 		Partitioned: p,
 		Merges:      make([]*codegen.Merged, len(p.Result.Partitions)),
@@ -142,6 +138,34 @@ func (p *Partitioned) Merge() (*Merged, error) {
 		m.Merges[pi] = mg
 	}
 	return m, nil
+}
+
+// validateForMerge checks the partitioning result against the design
+// and the realizability guard shared by Merge and MergeCached: the
+// result must validate under the I/O constraints, and the contracted
+// block graph must be acyclic (ErrUnrealizable otherwise — reachable
+// only for paper-mode results, the convexity guard forbids it).
+func (p *Partitioned) validateForMerge() error {
+	g := p.Design.Graph()
+	c := p.Constraints
+	ioOnly := core.Constraints{MaxInputs: c.MaxInputs, MaxOutputs: c.MaxOutputs}
+	if err := p.Result.Validate(g, ioOnly); err != nil {
+		return fmt.Errorf("synth: %w", err)
+	}
+	if c.RequireConvex {
+		// Convex partitions of a DAG contract to a DAG (the guard's
+		// whole point), so the cycle check below can never fire; skip
+		// building the contracted graph on this hot path.
+		return nil
+	}
+	ct, err := g.Contract(p.Result.Partitions)
+	if err != nil {
+		return err
+	}
+	if !ct.Acyclic() {
+		return ErrUnrealizable
+	}
+	return nil
 }
 
 // Emitted is the fourth stage artifact: the synthesized network, in
@@ -209,7 +233,7 @@ func (m *Merged) Emit() (*Emitted, error) {
 		if err := nd.SetProgram(nid, mg.Program); err != nil {
 			return nil, err
 		}
-		out.CSource[name] = codegen.EmitC(mg.Program, name)
+		out.CSource[name] = memoizedEmitC(mg.Program, name)
 	}
 
 	// mapSource resolves an original output port to its new endpoint.
@@ -263,6 +287,40 @@ func (m *Merged) Emit() (*Emitted, error) {
 	}
 	out.Synthesized = nd
 	return out, nil
+}
+
+// csrcMemo caches generated C per (program identity, block name).
+// Identity keying only pays off when the same *behavior.Program is
+// emitted repeatedly — exactly what the merge-adoption memo
+// (memoizedProgram) arranges for interactive edit sessions, where
+// every unedited partition resolves to the one shared parsed program
+// and lands here on its stable p<i> name. Cold runs allocate fresh
+// programs and simply miss. Reset past csrcMemoMax entries, like
+// progMemo.
+var (
+	csrcMemo    sync.Map // csrcKey -> string
+	csrcMemoLen atomic.Int64
+)
+
+type csrcKey struct {
+	prog *behavior.Program
+	name string
+}
+
+const csrcMemoMax = 4096
+
+func memoizedEmitC(prog *behavior.Program, name string) string {
+	k := csrcKey{prog, name}
+	if c, ok := csrcMemo.Load(k); ok {
+		return c.(string)
+	}
+	c := codegen.EmitC(prog, name)
+	if csrcMemoLen.Add(1) > csrcMemoMax {
+		csrcMemo.Range(func(k, _ any) bool { csrcMemo.Delete(k); return true })
+		csrcMemoLen.Store(1)
+	}
+	csrcMemo.Store(k, c)
+	return c
 }
 
 // Verified is the final stage artifact: the emitted design plus the

@@ -1,0 +1,42 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/codegen"
+	"repro/internal/designs"
+)
+
+// TestMergedProgramRoundTrip pins the property the partition.v1 artifact
+// encoding depends on: a merged program printed with behavior.Format and
+// re-read with behavior.Parse must print and compile identically to the
+// original AST. Without this, a partition artifact adopted from the
+// store could differ byte-wise from a freshly merged one, breaking the
+// delta-equals-full guarantee.
+func TestMergedProgramRoundTrip(t *testing.T) {
+	for _, name := range designs.SortedNames() {
+		d := designs.Lookup(name).Build()
+		for _, alg := range []Algorithm{PareDown, AggregationBaseline} {
+			em, err := Run(context.Background(), d, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, alg, err)
+			}
+			for pi, mg := range em.Merges {
+				text := behavior.Format(mg.Program)
+				back, err := behavior.Parse(text)
+				if err != nil {
+					t.Fatalf("%s/%s p%d: re-parse: %v\n%s", name, alg, pi, err, text)
+				}
+				if got := behavior.Format(back); got != text {
+					t.Errorf("%s/%s p%d: Format∘Parse not stable:\n--- first\n%s\n--- second\n%s", name, alg, pi, text, got)
+				}
+				cname := "p0"
+				if got, want := codegen.EmitC(back, cname), codegen.EmitC(mg.Program, cname); got != want {
+					t.Errorf("%s/%s p%d: EmitC differs after round-trip", name, alg, pi)
+				}
+			}
+		}
+	}
+}
