@@ -16,6 +16,11 @@
 //	POST /v1/partition   same request shape; partitioning summary only
 //	POST /v1/batch       {"requests": [ ... ]}
 //	POST /v1/simulate    {"design"|"ebk"|"fingerprint", "script": "at 100 set door 1", ...}
+//	                     ?stream=ndjson streams the trace incrementally with progress
+//	                     heartbeats; ?checkpointEvery=N persists simstate.v1 snapshots
+//	                     every N ms of simulation time; ?format=vcd streams a VCD document
+//	POST /v1/simulate/resume {"fingerprint", "cycle", "until", ...} — continue a
+//	                     checkpointed run from the nearest persisted snapshot
 //	POST /v1/verify      synthesis request + stimulus schedule; Verified-stage cached
 //	GET  /v1/algorithms
 //	GET  /v1/stats
@@ -67,10 +72,11 @@ func main() {
 		storeRemoteTMO = flag.Duration("store-remote-timeout", store.DefaultRemoteTimeout, "per-round-trip timeout for the remote artifact origin")
 		storeAuth      = flag.String("store-auth", "", "shared secret for the fleet's /v1/store routes: required of callers on this instance's origin routes and sent to the -store-remote origin (empty = no auth; rely on network isolation)")
 		simMaxEvents   = flag.Int("sim-max-events", 0, "cap on the per-request simulation event budget for /v1/simulate and /v1/verify (0 = the simulator default of 1,000,000)")
+		simInterp      = flag.Bool("sim-interpreter", false, "evaluate behavior programs with the tree-walking interpreter instead of the compiled bytecode VM (an escape hatch; the VM is the default and produces identical traces)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents, StoreAuthToken: *storeAuth}
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents, SimInterpreter: *simInterp, StoreAuthToken: *storeAuth}
 	if *storeRemote != "" && *storeDir == "" {
 		log.Fatalf("eblocksd: -store-remote requires -store-dir (the remote tier layers beneath the local disk tier)")
 	}

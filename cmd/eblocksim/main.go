@@ -7,13 +7,20 @@
 //	eblocksim -design garage.ebk -script stimuli.txt [-until 10000] [-all]
 //	eblocksim -library "Podium Timer 3" -script stimuli.txt -vcd out.vcd
 //	eblocksim -library "Night Lamp Controller" -script stimuli.txt -json
+//	eblocksim -library "Night Lamp Controller" -script stimuli.txt -until 100000000 -stream
 //	eblocksim -serve :8080
 //
 // -json emits the eblocksd /v1/simulate response schema instead of the
 // human-readable report, and -serve starts the eblocksd HTTP API
 // (memory-only, no persistent store) — both are produced by the same
 // service code the daemon runs, so CLI and server outputs are
-// byte-compatible.
+// byte-compatible. -stream writes the trace to stdout as NDJSON change
+// records as they happen, in bounded memory, so horizons far beyond
+// what a buffered trace could hold are fine.
+//
+// Behaviors are evaluated on the compiled bytecode VM by default;
+// -interpreter switches to the tree-walking interpreter (identical
+// traces, several times slower on behavior-heavy designs).
 //
 // The stimulus script has one event per line:
 //
@@ -48,10 +55,12 @@ func main() {
 		traceAll   = flag.Bool("all", false, "trace every block, not just primary outputs")
 		wireDelay  = flag.Int64("wiredelay", 1, "packet propagation delay per wire in ms")
 		delta      = flag.Bool("delta", false, "use glitch-free delta-cycle semantics (zero wire delay)")
-		compiled   = flag.Bool("compiled", false, "evaluate behaviors on the bytecode VM")
+		compiled   = flag.Bool("compiled", true, "evaluate behaviors on the bytecode VM (the default; -interpreter opts out)")
+		interp     = flag.Bool("interpreter", false, "evaluate behaviors with the tree-walking interpreter instead of the bytecode VM (identical traces, slower)")
 		vcdPath    = flag.String("vcd", "", "write the trace as a VCD waveform to this file")
 		stats      = flag.Bool("stats", false, "print structural statistics before simulating")
 		jsonOut    = flag.Bool("json", false, "print the eblocksd /v1/simulate response schema instead of the report")
+		stream     = flag.Bool("stream", false, "stream the trace to stdout as NDJSON change records in bounded memory instead of buffering it")
 		serve      = flag.String("serve", "", "serve the eblocksd HTTP API on this address instead of simulating (memory-only)")
 	)
 	flag.Parse()
@@ -83,7 +92,7 @@ func main() {
 			TraceAll:    *traceAll,
 			WireDelay:   *wireDelay,
 			DeltaCycles: *delta,
-			Compiled:    *compiled,
+			Compiled:    *compiled && !*interp,
 		},
 	}
 	if *scriptPath != "" {
@@ -92,6 +101,39 @@ func main() {
 			fatal(err)
 		}
 		opts.Script = string(raw)
+	}
+	if *stream {
+		// Long-horizon mode: changes go straight to stdout through the
+		// bounded NDJSON sink; nothing accumulates in memory.
+		var stimuli []sim.Stimulus
+		if opts.Script != "" {
+			if stimuli, err = sim.ParseScript(opts.Script); err != nil {
+				fatal(err)
+			}
+		}
+		sm, err := sim.New(d, opts.Config)
+		if err != nil {
+			fatal(err)
+		}
+		sink := sim.NewNDJSONSink(os.Stdout, 0)
+		sm.SetSink(sink)
+		if err := sm.Stimulate(stimuli...); err != nil {
+			fatal(err)
+		}
+		if *until > 0 {
+			err = sm.Run(*until)
+		} else {
+			_, err = sm.RunToQuiescence()
+		}
+		if ferr := sink.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eblocksim: streamed %d changes over %d events to t=%d ms\n",
+			sm.ChangesEmitted(), sm.EventsProcessed(), sm.Now())
+		return
 	}
 	if *jsonOut {
 		// Run through the service layer so the document is exactly what

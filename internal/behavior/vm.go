@@ -98,6 +98,26 @@ func (m *Machine) State(name string) (int64, bool) {
 	return 0, false
 }
 
+// States returns a copy of the machine's state variables in
+// declaration order (parameters excluded). Together with SetStates it
+// lets a simulator checkpoint and restore a compiled machine without
+// reaching into its representation.
+func (m *Machine) States() []int64 {
+	return append([]int64(nil), m.state[:len(m.c.states)]...)
+}
+
+// SetStates overwrites the machine's state variables in declaration
+// order, leaving parameters untouched. The slice length must match the
+// program's state count exactly — a checkpoint from a different
+// program must not restore here.
+func (m *Machine) SetStates(vals []int64) error {
+	if len(vals) != len(m.c.states) {
+		return fmt.Errorf("behavior: restoring %d state values into a %d-state machine", len(vals), len(m.c.states))
+	}
+	copy(m.state, vals)
+	return nil
+}
+
 // Step executes the program once against the current inputs, then
 // latches Prev = In. Timer queries and scheduling go through host.
 func (m *Machine) Step(host Host) error {

@@ -72,7 +72,12 @@ func (jr JSONRequest) toRequest() (Request, error) {
 //	POST /v1/delta       — incremental synthesis: base + edit list
 //	POST /v1/partition   — partition only, no merge/emit
 //	POST /v1/batch       — synthesize many designs over the worker pool
-//	POST /v1/simulate    — run the event-driven simulator (?format=vcd)
+//	POST /v1/simulate    — run the event-driven simulator
+//	                       (?stream=ndjson streams the trace with
+//	                       heartbeats and ?checkpointEvery=N snapshots;
+//	                       ?format=vcd streams a Value Change Dump)
+//	POST /v1/simulate/resume — continue a checkpointed run from the
+//	                       nearest persisted simstate.v1 snapshot
 //	POST /v1/verify      — full pipeline through the Verified stage
 //	GET  /v1/algorithms  — registered partitioner names
 //	GET  /v1/stats       — service + store counters, latency quantiles
@@ -146,6 +151,7 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/delta", s.handleDelta)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/simulate/resume", s.handleSimulateResume)
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string][]string{"algorithms": core.Algorithms()})

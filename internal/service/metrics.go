@@ -36,9 +36,66 @@ type metrics struct {
 	// (stage infeasible.v1) instead of re-running a pipeline known to
 	// fail.
 	infeasibleHits uint64
-	latSum         time.Duration
-	lat            []time.Duration // ring buffer, latencyWindow capacity
-	latNext        int
+	// streams counts streamed simulate runs (NDJSON or VCD);
+	// streamedChanges totals the change records they emitted.
+	streams         uint64
+	streamedChanges uint64
+	// snapshotsSaved counts checkpoints persisted to the store;
+	// snapshotHits/snapshotMisses count resume lookups by outcome.
+	snapshotsSaved uint64
+	snapshotHits   uint64
+	snapshotMisses uint64
+	// Per-evaluator-mode simulate latency: run counts and cumulative
+	// wall time for the interpreter and the compiled VM, so the
+	// compiled-by-default win is observable in production.
+	simInterpCount   uint64
+	simInterpSum     time.Duration
+	simCompiledCount uint64
+	simCompiledSum   time.Duration
+	latSum           time.Duration
+	lat              []time.Duration // ring buffer, latencyWindow capacity
+	latNext          int
+}
+
+// observeSimMode attributes one simulate run's wall time to its
+// evaluator mode.
+func (m *metrics) observeSimMode(d time.Duration, compiled bool) {
+	m.mu.Lock()
+	if compiled {
+		m.simCompiledCount++
+		m.simCompiledSum += d
+	} else {
+		m.simInterpCount++
+		m.simInterpSum += d
+	}
+	m.mu.Unlock()
+}
+
+// observeStream counts one streamed simulate run and the change
+// records it emitted.
+func (m *metrics) observeStream(changes uint64) {
+	m.mu.Lock()
+	m.streams++
+	m.streamedChanges += changes
+	m.mu.Unlock()
+}
+
+// observeSnapshotSave counts a successfully persisted checkpoint.
+func (m *metrics) observeSnapshotSave() {
+	m.mu.Lock()
+	m.snapshotsSaved++
+	m.mu.Unlock()
+}
+
+// observeSnapshotLookup counts a resume lookup by outcome.
+func (m *metrics) observeSnapshotLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.snapshotHits++
+	} else {
+		m.snapshotMisses++
+	}
+	m.mu.Unlock()
 }
 
 // observePartitions accumulates a merge's adopted/recomputed split.
@@ -171,6 +228,21 @@ type Stats struct {
 	P50        time.Duration `json:"p50Nanos"`
 	P99        time.Duration `json:"p99Nanos"`
 	LatencySum time.Duration `json:"latencySumNanos"`
+	// StreamRequests counts streamed simulate runs (NDJSON or VCD);
+	// StreamedChanges totals the change records they emitted.
+	StreamRequests  uint64 `json:"streamRequests"`
+	StreamedChanges uint64 `json:"streamedChanges"`
+	// SnapshotsSaved counts checkpoints persisted to the store;
+	// SnapshotHits/SnapshotMisses count resume lookups by outcome.
+	SnapshotsSaved uint64 `json:"snapshotsSaved"`
+	SnapshotHits   uint64 `json:"snapshotHits"`
+	SnapshotMisses uint64 `json:"snapshotMisses"`
+	// Per-evaluator-mode simulate latency: run counts and cumulative
+	// wall time under the interpreter vs. the compiled VM.
+	SimInterpreterRuns uint64        `json:"simInterpreterRuns"`
+	SimInterpreterSum  time.Duration `json:"simInterpreterSumNanos"`
+	SimCompiledRuns    uint64        `json:"simCompiledRuns"`
+	SimCompiledSum     time.Duration `json:"simCompiledSumNanos"`
 	// Store carries the persistent store's own counters (entries,
 	// bytes, per-tier hits, evictions); absent when the service runs
 	// memory-only.
@@ -216,6 +288,15 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 		Coalesced:            m.coalesced,
 		Errors:               m.errors,
 		CacheEntries:         cacheEntries,
+		StreamRequests:       m.streams,
+		StreamedChanges:      m.streamedChanges,
+		SnapshotsSaved:       m.snapshotsSaved,
+		SnapshotHits:         m.snapshotHits,
+		SnapshotMisses:       m.snapshotMisses,
+		SimInterpreterRuns:   m.simInterpCount,
+		SimInterpreterSum:    m.simInterpSum,
+		SimCompiledRuns:      m.simCompiledCount,
+		SimCompiledSum:       m.simCompiledSum,
 		LatencySum:           m.latSum,
 	}
 	m.mu.Unlock()

@@ -57,6 +57,22 @@ func promText(st Stats) string {
 	gauge("eblocksd_cache_entries", "Responses resident in the in-process LRU.")
 	sample("eblocksd_cache_entries", "", st.CacheEntries)
 
+	counter("eblocksd_stream_requests_total", "Streamed simulate runs (NDJSON or VCD).")
+	sample("eblocksd_stream_requests_total", "", st.StreamRequests)
+	counter("eblocksd_streamed_changes_total", "Change records emitted by streamed simulate runs.")
+	sample("eblocksd_streamed_changes_total", "", st.StreamedChanges)
+	counter("eblocksd_snapshots_saved_total", "Simulator checkpoints persisted to the store (stage simstate.v1).")
+	sample("eblocksd_snapshots_saved_total", "", st.SnapshotsSaved)
+	counter("eblocksd_snapshot_lookups_total", "Resume-from-checkpoint lookups, by outcome.")
+	sample("eblocksd_snapshot_lookups_total", `outcome="hit"`, st.SnapshotHits)
+	sample("eblocksd_snapshot_lookups_total", `outcome="miss"`, st.SnapshotMisses)
+	counter("eblocksd_simulate_runs_total", "Simulate runs by evaluator mode.")
+	sample("eblocksd_simulate_runs_total", `mode="interpreter"`, st.SimInterpreterRuns)
+	sample("eblocksd_simulate_runs_total", `mode="compiled"`, st.SimCompiledRuns)
+	counter("eblocksd_simulate_latency_seconds_sum", "Cumulative simulate wall time by evaluator mode.")
+	sample("eblocksd_simulate_latency_seconds_sum", `mode="interpreter"`, secs(st.SimInterpreterSum))
+	sample("eblocksd_simulate_latency_seconds_sum", `mode="compiled"`, secs(st.SimCompiledSum))
+
 	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n",
 		"eblocksd_request_latency_seconds",
 		"Request latency: quantiles over a sliding window of recent requests, sum/count over all requests.",

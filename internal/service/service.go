@@ -34,6 +34,13 @@ type Config struct {
 	// the budget beneath the cap but never raise it above. 0 leaves
 	// the simulator default (1,000,000) as the effective ceiling.
 	SimMaxEvents int
+	// SimInterpreter opts the service out of compiled-by-default
+	// simulation: when set, simulate requests run on the tree-walking
+	// interpreter instead of the bytecode VM. The two evaluators are
+	// semantically identical (property-tested), so this is purely an
+	// escape hatch — the VM is several times faster on synthesized
+	// (merged-program) designs and is the default.
+	SimInterpreter bool
 	// StoreAuthToken, when non-empty, gates the shared-origin
 	// /v1/store routes behind "Authorization: Bearer <token>" (see
 	// store.AuthMiddleware). Fleets whose members set the same token

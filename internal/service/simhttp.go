@@ -122,11 +122,28 @@ func (jr VerifyJSONRequest) toJob(s *Service) (VerifyJob, error) {
 	return job, nil
 }
 
-// handleSimulate serves POST /v1/simulate. With ?format=vcd the trace
-// is returned as a Value Change Dump document instead of JSON.
+// handleSimulate serves POST /v1/simulate. With ?stream=ndjson the
+// trace streams out incrementally with progress heartbeats and
+// optional checkpoints (?checkpointEvery=N ms of simulation time);
+// with ?format=vcd it streams as a Value Change Dump document through
+// the incremental writer. Both streaming forms run in bounded memory;
+// the default buffered form returns the complete JSON response.
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var jr SimulateJSONRequest
 	if !decodeInto(w, r, &jr) {
+		return
+	}
+	switch stream := r.URL.Query().Get("stream"); stream {
+	case "ndjson":
+		s.handleSimulateStream(w, r, jr)
+		return
+	case "":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unsupported stream=%q: want \"ndjson\"", stream))
+		return
+	}
+	if r.URL.Query().Get("format") == "vcd" {
+		s.handleSimulateVCD(w, r, jr)
 		return
 	}
 	job, err := jr.toJob(s)
@@ -141,11 +158,6 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	if coalesced {
 		w.Header().Set("X-Coalesced", "true")
-	}
-	if r.URL.Query().Get("format") == "vcd" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		sim.WriteVCD(w, resp.Trace, resp.Design)
-		return
 	}
 	writeJSON(w, resp)
 }
@@ -182,9 +194,11 @@ func writeResolveError(w http.ResponseWriter, err error) {
 }
 
 // writeSimError maps simulation/verification failures to 422. An
-// exhausted event budget additionally carries the typed sim.BudgetError
-// as a structured "budget" field, so clients can distinguish an
-// oscillating design from other failures without parsing the message.
+// exhausted event budget additionally carries the typed
+// sim.BudgetError as a structured "budget" field, and an exhausted
+// trace budget the typed sim.TraceLimitError as "traceLimit", so
+// clients can distinguish an oscillating design from a chatty one
+// without parsing the message.
 func writeSimError(w http.ResponseWriter, err error) {
 	var be *sim.BudgetError
 	if errors.As(err, &be) {
@@ -193,6 +207,16 @@ func writeSimError(w http.ResponseWriter, err error) {
 		json.NewEncoder(w).Encode(map[string]any{
 			"error":  err.Error(),
 			"budget": be,
+		})
+		return
+	}
+	var tle *sim.TraceLimitError
+	if errors.As(err, &tle) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":      err.Error(),
+			"traceLimit": tle,
 		})
 		return
 	}

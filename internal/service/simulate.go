@@ -66,6 +66,18 @@ func (s *Service) capSimEvents(requested int) int {
 	return requested
 }
 
+// applySimDefaults normalizes a request's simulator configuration to
+// service policy: the event budget is capped by Config.SimMaxEvents,
+// and the evaluator is the bytecode VM unless the server opted out
+// (Config.SimInterpreter). Forcing Compiled is safe — it is excluded
+// from Config.Canonical because the two evaluators produce identical
+// traces — so requests cannot pick the slow path by accident.
+func (s *Service) applySimDefaults(c sim.Config) sim.Config {
+	c.MaxEvents = s.capSimEvents(c.MaxEvents)
+	c.Compiled = !s.cfg.SimInterpreter
+	return c
+}
+
 // Simulate runs (or joins a concurrent identical run of) one
 // simulation job. The bool reports whether this call coalesced onto
 // another request's computation. The context gates admission and
@@ -78,7 +90,7 @@ func (s *Service) Simulate(ctx context.Context, job SimulateJob) (*SimulateRespo
 		s.stats.observeClass(time.Since(start), outcomeError, classSimulate)
 		return nil, false, err
 	}
-	job.Config.MaxEvents = s.capSimEvents(job.Config.MaxEvents)
+	job.Config = s.applySimDefaults(job.Config)
 	fp := netlist.Fingerprint(job.Design)
 	stimHash := synth.StimuliHash(job.Stimuli)
 
@@ -98,6 +110,7 @@ func (s *Service) Simulate(ctx context.Context, job SimulateJob) (*SimulateRespo
 		o = outcomeCoalesced
 	}
 	s.stats.observeClass(time.Since(start), o, classSimulate)
+	s.stats.observeSimMode(time.Since(start), job.Config.Compiled)
 	return resp, coalesced, err
 }
 

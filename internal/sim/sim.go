@@ -44,6 +44,14 @@ type Config struct {
 	// by property tests); large-network simulations run several times
 	// faster.
 	Compiled bool `json:"compiled,omitempty"`
+	// MaxTraceEvents bounds how many changes a run may emit into its
+	// trace sink; 0 means unbounded. It exists for buffered-mode
+	// callers: MaxEvents caps evaluation work, but a long quiet-running
+	// design can still accumulate an enormous in-memory trace — this
+	// caps that with a typed *TraceLimitError instead of an OOM.
+	// Streaming sinks have bounded memory by construction and normally
+	// leave it 0.
+	MaxTraceEvents int `json:"maxTraceEvents,omitempty"`
 }
 
 func (c Config) wireDelay() int64 {
@@ -65,10 +73,15 @@ func (c Config) maxEvents() int {
 // same simulation render identically. Compiled is deliberately
 // excluded: the VM and the interpreter are semantically identical
 // (enforced by property tests), so it changes how fast a trace is
-// produced, never which one.
+// produced, never which one. MaxTraceEvents appears only when set, so
+// keys minted before it existed render unchanged.
 func (c Config) Canonical() string {
-	return fmt.Sprintf("wd=%d|max=%d|all=%t|delta=%t",
+	s := fmt.Sprintf("wd=%d|max=%d|all=%t|delta=%t",
 		c.wireDelay(), c.maxEvents(), c.TraceAll, c.DeltaCycles)
+	if c.MaxTraceEvents > 0 {
+		s += fmt.Sprintf("|tmax=%d", c.MaxTraceEvents)
+	}
+	return s
 }
 
 // BudgetError reports that a Run call exhausted its event budget
@@ -102,10 +115,15 @@ type Simulator struct {
 	cfg    Config
 	queue  eventQueue
 	trace  Trace
-	now    int64
+	// sink receives every observed change; defaults to &trace (the
+	// buffered in-memory mode). SetSink replaces it for streaming.
+	sink TraceSink
+	now  int64
 	// processed counts events handled over the simulator's lifetime,
-	// charged against Config.MaxEvents.
+	// charged against Config.MaxEvents; emitted counts changes handed
+	// to the sink, charged against Config.MaxTraceEvents.
 	processed int
+	emitted   int
 	insts     []*instRT
 	levels    map[graph.NodeID]int
 }
@@ -195,6 +213,7 @@ func New(d *netlist.Design, cfg Config) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s := &Simulator{design: d, cfg: cfg}
+	s.sink = &s.trace
 	g := d.Graph()
 	levels, err := g.Levels()
 	if err != nil {
@@ -310,8 +329,42 @@ func (s *Simulator) Stimulate(stims ...Stimulus) error {
 // Now returns the current simulation time in ms.
 func (s *Simulator) Now() int64 { return s.now }
 
-// Trace returns the accumulated change trace.
+// Trace returns the accumulated change trace. With a custom sink
+// installed (SetSink) the simulator no longer buffers changes, so the
+// returned trace stays empty.
 func (s *Simulator) Trace() *Trace { return &s.trace }
+
+// SetSink replaces the trace sink: subsequent changes go to sink
+// instead of the in-memory trace, so a long-horizon run's memory stays
+// bounded by the sink's buffer. Install the sink before the first Run
+// call; a nil sink restores the in-memory trace.
+func (s *Simulator) SetSink(sink TraceSink) {
+	if sink == nil {
+		sink = &s.trace
+	}
+	s.sink = sink
+}
+
+// emit hands one change to the sink, charging the trace budget. A
+// sink failure or an exhausted Config.MaxTraceEvents budget aborts the
+// run with the returned error.
+func (s *Simulator) emit(c Change) error {
+	if s.cfg.MaxTraceEvents > 0 && s.emitted >= s.cfg.MaxTraceEvents {
+		return &TraceLimitError{Time: s.now, MaxTraceEvents: s.cfg.MaxTraceEvents}
+	}
+	s.emitted++
+	return s.sink.Append(c)
+}
+
+// EventsProcessed returns how many events the simulator has handled
+// over its lifetime (the amount charged against Config.MaxEvents) —
+// the throughput numerator for progress reporting.
+func (s *Simulator) EventsProcessed() int { return s.processed }
+
+// ChangesEmitted returns how many changes have been handed to the
+// trace sink over the simulator's lifetime (the amount charged against
+// Config.MaxTraceEvents).
+func (s *Simulator) ChangesEmitted() int { return s.emitted }
 
 // OutputValue returns the current value observed at a primary output
 // block (the value on its single input pin).
@@ -376,7 +429,9 @@ func (s *Simulator) RunContext(ctx context.Context, until int64) error {
 		s.now = ev.time
 		switch ev.kind {
 		case evStimulus:
-			s.applyStimulus(ev)
+			if err := s.applyStimulus(ev); err != nil {
+				return err
+			}
 		case evPacket:
 			if err := s.deliverPacket(ev); err != nil {
 				return err
@@ -418,16 +473,19 @@ func (s *Simulator) RunToQuiescenceContext(ctx context.Context) (int64, error) {
 	return s.now, nil
 }
 
-func (s *Simulator) applyStimulus(ev event) {
+func (s *Simulator) applyStimulus(ev event) error {
 	rt := s.insts[ev.node]
 	if rt.outputs[0] == ev.value {
-		return
+		return nil
 	}
 	rt.outputs[0] = ev.value
 	if s.cfg.TraceAll {
-		s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[0], Value: ev.value})
+		if err := s.emit(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[0], Value: ev.value}); err != nil {
+			return err
+		}
 	}
 	s.emitPackets(rt.id, 0, ev.value)
+	return nil
 }
 
 // emitPackets schedules delivery of a changed output value to every
@@ -467,7 +525,9 @@ func (s *Simulator) deliverPacket(ev event) error {
 	if g.Role(rt.id) == graph.RolePrimaryOutput {
 		// Primary outputs just observe; trace on change.
 		if rt.prevIn[ev.pin] != ev.value {
-			s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Inputs[ev.pin], Value: ev.value})
+			if err := s.emit(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Inputs[ev.pin], Value: ev.value}); err != nil {
+				return err
+			}
 		}
 		rt.prevIn[ev.pin] = ev.value
 		return nil
@@ -533,7 +593,9 @@ func (s *Simulator) evaluate(rt *instRT, fired map[int]bool) error {
 	for pin, v := range rt.outputs {
 		if v != before[pin] {
 			if s.cfg.TraceAll {
-				s.trace.record(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[pin], Value: v})
+				if err := s.emit(Change{Time: s.now, Block: rt.name, Port: s.design.Type(rt.id).Outputs[pin], Value: v}); err != nil {
+					return err
+				}
 			}
 			s.emitPackets(rt.id, pin, v)
 		}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSink consumes the simulator's change stream as it is produced.
+// The default sink is the in-memory Trace; long-horizon runs install a
+// streaming sink (SetSink) so memory stays bounded no matter how many
+// cycles are simulated. Append is called once per observed change, in
+// time order, from the goroutine driving Run; an Append error aborts
+// the run and is returned to the Run caller. Flush is called by the
+// driver when it wants buffered output pushed downstream (the
+// simulator itself never calls it).
+type TraceSink interface {
+	// Append consumes one change. Returning an error aborts the run.
+	Append(Change) error
+	// Flush pushes any buffered output downstream.
+	Flush() error
+}
+
+// Append implements TraceSink over the in-memory trace; it never
+// fails.
+func (tr *Trace) Append(c Change) error {
+	tr.record(c)
+	return nil
+}
+
+// Flush implements TraceSink; an in-memory trace has nothing to push.
+func (tr *Trace) Flush() error { return nil }
+
+// ndjsonBufSize is the NDJSON sink's default buffer: large enough to
+// amortize write syscalls, small enough that a streaming run's memory
+// stays bounded by a few pages regardless of trace length.
+const ndjsonBufSize = 32 << 10
+
+// NDJSONSink streams changes as newline-delimited JSON — one Change
+// document per line, the wire form shared with the service's streaming
+// API — through a fixed-size buffer. Total sink memory is the buffer,
+// independent of how many changes pass through. Not safe for
+// concurrent use.
+type NDJSONSink struct {
+	w   *bufio.Writer
+	n   uint64
+	enc []byte // reused per-line encode buffer
+}
+
+// NewNDJSONSink builds a sink writing to w through a bounded buffer of
+// bufBytes (<=0 means the 32 KiB default).
+func NewNDJSONSink(w io.Writer, bufBytes int) *NDJSONSink {
+	if bufBytes <= 0 {
+		bufBytes = ndjsonBufSize
+	}
+	return &NDJSONSink{w: bufio.NewWriterSize(w, bufBytes)}
+}
+
+// Append writes one change as a JSON line.
+func (s *NDJSONSink) Append(c Change) error {
+	line, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("sim: ndjson sink: %w", err)
+	}
+	s.enc = append(s.enc[:0], line...)
+	s.enc = append(s.enc, '\n')
+	if _, err := s.w.Write(s.enc); err != nil {
+		return fmt.Errorf("sim: ndjson sink: %w", err)
+	}
+	s.n++
+	return nil
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (s *NDJSONSink) Flush() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("sim: ndjson sink: %w", err)
+	}
+	return nil
+}
+
+// Count returns how many changes have passed through the sink.
+func (s *NDJSONSink) Count() uint64 { return s.n }
+
+// TraceLimitError reports that a run emitted more trace changes than
+// Config.MaxTraceEvents allows — the buffered-mode guard against a
+// long-horizon request accumulating an unbounded in-memory trace. The
+// exported fields make the error JSON-serializable, so services can
+// return it structurally (mapped to a client-error status) instead of
+// string-matching.
+type TraceLimitError struct {
+	// Time is the simulation timestamp at which the limit was hit.
+	Time int64 `json:"time"`
+	// MaxTraceEvents is the limit that was exceeded.
+	MaxTraceEvents int `json:"maxTraceEvents"`
+}
+
+// Error implements the error interface.
+func (e *TraceLimitError) Error() string {
+	return fmt.Sprintf("sim: trace limit of %d changes exceeded at t=%d ms (stream the run, raise maxTraceEvents, or shorten the horizon)", e.MaxTraceEvents, e.Time)
+}

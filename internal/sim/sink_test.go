@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runGarage drives the Figure 1 system through a door-open and a
+// sunrise, returning the simulator for inspection.
+func runGarage(t *testing.T, cfg Config, sink TraceSink) *Simulator {
+	t.Helper()
+	s, err := New(garage(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink != nil {
+		s.SetSink(sink)
+	}
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNDJSONSinkMatchesBufferedTrace(t *testing.T) {
+	ref := runGarage(t, Config{TraceAll: true}, nil)
+	want := ref.Trace().All()
+	if len(want) == 0 {
+		t.Fatal("reference run produced no changes")
+	}
+
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf, 0)
+	runGarage(t, Config{TraceAll: true}, sink)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != uint64(len(want)) {
+		t.Fatalf("sink.Count() = %d, want %d", sink.Count(), len(want))
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("streamed %d lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		var c Change
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if c != want[i] {
+			t.Fatalf("line %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestNDJSONSinkBoundedBuffer(t *testing.T) {
+	// A tiny buffer forces flushes through the run; the stream must
+	// still be complete and ordered.
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf, 16)
+	runGarage(t, Config{TraceAll: true}, sink)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref := runGarage(t, Config{TraceAll: true}, nil)
+	if got, want := int(sink.Count()), len(ref.Trace().All()); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != int(sink.Count()) {
+		t.Fatalf("stream has %d lines, want %d", n, sink.Count())
+	}
+}
+
+// failSink fails on the nth Append.
+type failSink struct {
+	n     int
+	calls int
+}
+
+func (f *failSink) Append(Change) error {
+	f.calls++
+	if f.calls >= f.n {
+		return fmt.Errorf("sink full after %d", f.calls)
+	}
+	return nil
+}
+
+func (f *failSink) Flush() error { return nil }
+
+func TestSinkErrorAbortsRun(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSink(&failSink{n: 2})
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunToQuiescence()
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("RunToQuiescence error = %v, want sink failure", err)
+	}
+}
+
+func TestSetSinkNilRestoresTrace(t *testing.T) {
+	s, err := New(garage(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSink(&failSink{n: 1})
+	s.SetSink(nil) // back to the in-memory trace
+	if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Trace().All()) == 0 {
+		t.Fatal("in-memory trace not restored by SetSink(nil)")
+	}
+}
+
+func TestMaxTraceEvents(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true, MaxTraceEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunToQuiescence()
+	var tle *TraceLimitError
+	if !errors.As(err, &tle) {
+		t.Fatalf("RunToQuiescence error = %v, want *TraceLimitError", err)
+	}
+	if tle.MaxTraceEvents != 2 {
+		t.Fatalf("limit in error = %d, want 2", tle.MaxTraceEvents)
+	}
+	if len(s.Trace().All()) > 2 {
+		t.Fatalf("trace grew past the limit: %d changes", len(s.Trace().All()))
+	}
+}
+
+func TestMaxTraceEventsCanonical(t *testing.T) {
+	base := Config{}.Canonical()
+	if strings.Contains(base, "tmax") {
+		t.Fatalf("zero MaxTraceEvents must not change the cache key: %q", base)
+	}
+	limited := Config{MaxTraceEvents: 7}.Canonical()
+	if !strings.Contains(limited, "tmax=7") {
+		t.Fatalf("canonical missing trace limit: %q", limited)
+	}
+}
+
+func TestVCDStreamingMatchesBuffered(t *testing.T) {
+	// Reference: buffered run, then WriteVCD over the full trace.
+	ref := runGarage(t, Config{TraceAll: true}, nil)
+	var want strings.Builder
+	if err := WriteVCD(&want, ref.Trace(), "Garage"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The design universe must cover exactly the traced signals here
+	// (every garage signal toggles in this run) so the two documents
+	// can be compared byte for byte.
+	universe := DesignSignals(garage(t), true)
+	traced := TraceSignals(ref.Trace())
+	if len(universe) != len(traced) {
+		t.Fatalf("universe %v != traced %v", universe, traced)
+	}
+	for i := range universe {
+		if universe[i] != traced[i] {
+			t.Fatalf("universe %v != traced %v", universe, traced)
+		}
+	}
+
+	// Streaming: the VCD writer is the live trace sink.
+	var got bytes.Buffer
+	vw, err := NewVCDWriter(&got, "Garage", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runGarage(t, Config{TraceAll: true}, vw)
+	if err := vw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed VCD differs from buffered:\n--- streamed ---\n%s\n--- buffered ---\n%s", got.String(), want.String())
+	}
+}
+
+func TestVCDWriterUndeclaredSignal(t *testing.T) {
+	var buf bytes.Buffer
+	vw, err := NewVCDWriter(&buf, "d", []VCDSignal{{Block: "led", Port: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Append(Change{Time: 1, Block: "ghost", Port: "y", Value: 1}); err == nil {
+		t.Fatal("Append on undeclared signal succeeded")
+	}
+}
+
+func TestDesignSignals(t *testing.T) {
+	outsOnly := DesignSignals(garage(t), false)
+	if len(outsOnly) != 1 || outsOnly[0] != (VCDSignal{Block: "led", Port: "a"}) {
+		t.Fatalf("primary-output universe = %v", outsOnly)
+	}
+	all := DesignSignals(garage(t), true)
+	if len(all) != 5 {
+		t.Fatalf("traceAll universe = %v", all)
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSnapshotSeed produces a small valid simstate.v1 payload for the
+// fuzzer to mutate.
+func fuzzSnapshotSeed(f *testing.F) []byte {
+	d := garage(f)
+	s, err := New(d, Config{TraceAll: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Run(150); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return snap
+}
+
+// FuzzSnapshotRoundTrip fuzzes the simstate.v1 decoder with the
+// fail-closed property: arbitrary bytes must either be rejected or
+// decode to a snapshot that restores and re-serializes to the exact
+// same bytes (so nothing corrupt can ever restore partial state, and
+// anything that restores is a fixed point of the wire form).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	valid := fuzzSnapshotSeed(f)
+	f.Add(valid)
+	f.Add([]byte(nil))
+	f.Add([]byte(SnapshotMagic + "\n"))
+	f.Add([]byte(SnapshotMagic + "\nzzzz\n{}"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 1
+	f.Add(flipped)
+
+	d := garage(f)
+	cfg := Config{TraceAll: true}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Restore(d, cfg, data)
+		if err != nil {
+			return // rejected: fail-closed is the property
+		}
+		again, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("restored simulator cannot re-snapshot: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted payload is not a fixed point\n in:  %q\n out: %q", data, again)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/designs"
+)
+
+// streamRun drives d with stims through an NDJSON sink up to horizon,
+// returning the raw stream bytes and the simulator.
+func streamRun(t *testing.T, s *Simulator, stims []Stimulus, until int64) ([]byte, *Simulator) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf, 0)
+	s.SetSink(sink)
+	if len(stims) > 0 {
+		if err := s.Stimulate(stims...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s
+}
+
+// TestSnapshotResumeByteIdentity is the acceptance property: for every
+// library design, in packet and delta-cycle mode, interpreted and
+// compiled, interrupting a run at the midpoint, snapshotting,
+// restoring, and finishing must produce a change stream byte-identical
+// to the uninterrupted run.
+func TestSnapshotResumeByteIdentity(t *testing.T) {
+	const (
+		mid     = 250
+		horizon = 600
+	)
+	for _, entry := range designs.Library() {
+		for _, mode := range []Config{
+			{TraceAll: true},
+			{TraceAll: true, DeltaCycles: true},
+			{TraceAll: true, Compiled: true},
+			{TraceAll: true, DeltaCycles: true, Compiled: true},
+		} {
+			entry, mode := entry, mode
+			name := fmt.Sprintf("%s/delta=%t/compiled=%t", entry.Name, mode.DeltaCycles, mode.Compiled)
+			t.Run(name, func(t *testing.T) {
+				d := entry.Build()
+				stims := benchStimuli(d, 8)
+
+				// Uninterrupted reference.
+				ref, err := New(d, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := streamRun(t, ref, stims, horizon)
+
+				// Interrupted: run to the midpoint, snapshot, restore,
+				// finish. The pending stimuli ride along in the queue.
+				s1, err := New(d, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prefix, s1 := streamRun(t, s1, stims, mid)
+				snap, err := s1.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Restore under the opposite evaluator: snapshots are
+				// mode-portable because the two are semantically equal.
+				restoreCfg := mode
+				restoreCfg.Compiled = !mode.Compiled
+				s2, err := Restore(d, restoreCfg, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s2.Now() != mid {
+					t.Fatalf("restored clock = %d, want %d", s2.Now(), mid)
+				}
+				suffix, _ := streamRun(t, s2, nil, horizon)
+
+				got := append(append([]byte{}, prefix...), suffix...)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("stitched stream differs from uninterrupted run\n--- stitched ---\n%s\n--- reference ---\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotDeterministic asserts equal runtime states serialize to
+// equal bytes — required for content-addressed storage to dedupe.
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() []byte {
+		s, err := New(garage(t), Config{TraceAll: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Stimulate(Stimulus{Time: 100, Block: "door", Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(150); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("identical runs produced different snapshots")
+	}
+}
+
+func TestSnapshotBudgetsSurvive(t *testing.T) {
+	cfg := Config{TraceAll: true, MaxEvents: 40, MaxTraceEvents: 3}
+	s, err := New(garage(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Stimulate(
+		Stimulus{Time: 100, Block: "door", Value: 1},
+		Stimulus{Time: 300, Block: "light", Value: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Restore(garage(t), cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.processed != s.processed || s2.emitted != s.emitted {
+		t.Fatalf("budgets not carried: processed %d/%d, emitted %d/%d",
+			s2.processed, s.processed, s2.emitted, s.emitted)
+	}
+}
+
+func TestRestoreRejects(t *testing.T) {
+	s, err := New(garage(t), Config{TraceAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong design", func(t *testing.T) {
+		if _, err := Restore(designs.Lookup("Timed Passage").Build(), Config{TraceAll: true}, snap); err == nil {
+			t.Fatal("restored into a different design")
+		}
+	})
+	t.Run("wrong config", func(t *testing.T) {
+		if _, err := Restore(garage(t), Config{TraceAll: true, DeltaCycles: true}, snap); err == nil {
+			t.Fatal("restored under different semantics")
+		}
+	})
+	t.Run("compiled is not semantic", func(t *testing.T) {
+		if _, err := Restore(garage(t), Config{TraceAll: true, Compiled: true}, snap); err != nil {
+			t.Fatalf("compiled restore of interpreter snapshot failed: %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(snap); cut += 1 + len(snap)/13 {
+			if _, err := Restore(garage(t), Config{TraceAll: true}, snap[:cut]); err == nil {
+				t.Fatalf("restored from %d-byte truncation", cut)
+			}
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		for i := 0; i < len(snap); i += 1 + len(snap)/29 {
+			mut := append([]byte{}, snap...)
+			mut[i] ^= 0x40
+			if _, err := Restore(garage(t), Config{TraceAll: true}, mut); err == nil {
+				t.Fatalf("restored after flipping a bit at offset %d", i)
+			}
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := Restore(garage(t), Config{TraceAll: true}, []byte("not a snapshot")); err == nil {
+			t.Fatal("restored from garbage")
+		}
+	})
+}

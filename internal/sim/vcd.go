@@ -1,74 +1,180 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
 )
 
-// WriteVCD renders a trace as a Value Change Dump (IEEE 1364) so
-// recorded simulations can be inspected in standard waveform viewers
-// (GTKWave and friends). Each traced block.port pair becomes a 1-bit
-// wire; timescale is 1 ms to match the simulator clock.
-func WriteVCD(w io.Writer, tr *Trace, designName string) error {
-	// Collect signals in deterministic order.
-	type sig struct {
-		block, port string
+// VCDSignal names one traced wire: a block and one of its ports.
+type VCDSignal struct {
+	Block string
+	Port  string
+}
+
+// sortSignals orders signals the way the VCD header declares them:
+// by block, then port.
+func sortSignals(sigs []VCDSignal) {
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Block != sigs[j].Block {
+			return sigs[i].Block < sigs[j].Block
+		}
+		return sigs[i].Port < sigs[j].Port
+	})
+}
+
+// DesignSignals returns the set of signals a simulation of d can ever
+// emit into its trace, sorted: the observed input of every primary
+// output block, plus — with traceAll — every sensor and compute-block
+// output. This is the signal universe an incremental VCD export
+// declares upfront, before any change has been seen.
+func DesignSignals(d *netlist.Design, traceAll bool) []VCDSignal {
+	g := d.Graph()
+	var sigs []VCDSignal
+	for _, id := range g.NodeIDs() {
+		t := d.Type(id)
+		switch g.Role(id) {
+		case graph.RolePrimaryOutput:
+			for pin := 0; pin < g.NumIn(id); pin++ {
+				sigs = append(sigs, VCDSignal{Block: g.Name(id), Port: t.Inputs[pin]})
+			}
+		case graph.RolePrimaryInput, graph.RoleInner:
+			if traceAll {
+				for pin := 0; pin < g.NumOut(id); pin++ {
+					sigs = append(sigs, VCDSignal{Block: g.Name(id), Port: t.Outputs[pin]})
+				}
+			}
+		}
 	}
-	seen := map[sig]bool{}
-	var sigs []sig
-	for _, c := range tr.All() {
-		k := sig{c.Block, c.Port}
+	sortSignals(sigs)
+	return sigs
+}
+
+// vcdBufSize bounds the incremental writer's buffer, keeping streamed
+// VCD export constant-memory regardless of trace length.
+const vcdBufSize = 32 << 10
+
+// VCDWriter renders a change stream as a Value Change Dump (IEEE 1364)
+// incrementally: the header and initial values are written at
+// construction from an upfront signal universe, and each Append emits
+// only that change's delta — nothing is buffered beyond a fixed-size
+// write buffer, so VCD export composes with streaming simulation.
+// VCDWriter implements TraceSink. Not safe for concurrent use.
+type VCDWriter struct {
+	w        *bufio.Writer
+	ids      map[VCDSignal]string
+	lastTime int64
+}
+
+// NewVCDWriter writes the VCD header — timescale, the module scope,
+// one 1-bit wire per signal, and all-zero initial values — and returns
+// a writer ready to Append changes in time order. Signals are declared
+// in sorted order regardless of the order given.
+func NewVCDWriter(w io.Writer, designName string, signals []VCDSignal) (*VCDWriter, error) {
+	sigs := append([]VCDSignal(nil), signals...)
+	sortSignals(sigs)
+	vw := &VCDWriter{
+		w:        bufio.NewWriterSize(w, vcdBufSize),
+		ids:      make(map[VCDSignal]string, len(sigs)),
+		lastTime: -1,
+	}
+	for i, s := range sigs {
+		vw.ids[s] = vcdID(i)
+	}
+	fmt.Fprintf(vw.w, "$date\n    (eBlocks simulation)\n$end\n")
+	fmt.Fprintf(vw.w, "$version\n    eblocks reproduction of DATE'05 synthesis tool chain\n$end\n")
+	fmt.Fprintf(vw.w, "$timescale 1ms $end\n")
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", sanitizeVCD(designName))
+	for _, s := range sigs {
+		fmt.Fprintf(vw.w, "$var wire 1 %s %s.%s $end\n", vw.ids[s], sanitizeVCD(s.Block), sanitizeVCD(s.Port))
+	}
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values: everything 0 at time 0 (the simulator's settle
+	// pass establishes t=0 values; the trace records only subsequent
+	// changes, so dump x->0 defaults first).
+	fmt.Fprintf(vw.w, "$dumpvars\n")
+	for _, s := range sigs {
+		fmt.Fprintf(vw.w, "0%s\n", vw.ids[s])
+	}
+	if _, err := fmt.Fprintf(vw.w, "$end\n"); err != nil {
+		return nil, fmt.Errorf("sim: vcd: %w", err)
+	}
+	return vw, nil
+}
+
+// Append implements TraceSink: it emits one change's value delta,
+// stamping a new #time line when the timestamp advances. Changes must
+// arrive in time order; a change on a signal outside the declared
+// universe fails the stream.
+func (vw *VCDWriter) Append(c Change) error {
+	id, ok := vw.ids[VCDSignal{Block: c.Block, Port: c.Port}]
+	if !ok {
+		return fmt.Errorf("sim: vcd: change on undeclared signal %s.%s", c.Block, c.Port)
+	}
+	if c.Time != vw.lastTime {
+		fmt.Fprintf(vw.w, "#%d\n", c.Time)
+		vw.lastTime = c.Time
+	}
+	bit := byte('0')
+	if c.Value != 0 {
+		bit = '1'
+	}
+	if _, err := fmt.Fprintf(vw.w, "%c%s\n", bit, id); err != nil {
+		return fmt.Errorf("sim: vcd: %w", err)
+	}
+	return nil
+}
+
+// Flush implements TraceSink, pushing buffered output downstream.
+func (vw *VCDWriter) Flush() error {
+	if err := vw.w.Flush(); err != nil {
+		return fmt.Errorf("sim: vcd: %w", err)
+	}
+	return nil
+}
+
+// TraceSignals returns the sorted set of signals appearing in a
+// buffered trace — the universe WriteVCD declares, kept for callers
+// converting an already-recorded trace.
+func TraceSignals(tr *Trace) []VCDSignal {
+	seen := map[VCDSignal]bool{}
+	var sigs []VCDSignal
+	for _, c := range tr.changes {
+		k := VCDSignal{Block: c.Block, Port: c.Port}
 		if !seen[k] {
 			seen[k] = true
 			sigs = append(sigs, k)
 		}
 	}
-	sort.Slice(sigs, func(i, j int) bool {
-		if sigs[i].block != sigs[j].block {
-			return sigs[i].block < sigs[j].block
-		}
-		return sigs[i].port < sigs[j].port
-	})
-	ids := make(map[sig]string, len(sigs))
-	for i, s := range sigs {
-		ids[s] = vcdID(i)
-	}
+	sortSignals(sigs)
+	return sigs
+}
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "$date\n    (eBlocks simulation)\n$end\n")
-	fmt.Fprintf(&b, "$version\n    eblocks reproduction of DATE'05 synthesis tool chain\n$end\n")
-	fmt.Fprintf(&b, "$timescale 1ms $end\n")
-	fmt.Fprintf(&b, "$scope module %s $end\n", sanitizeVCD(designName))
-	for _, s := range sigs {
-		fmt.Fprintf(&b, "$var wire 1 %s %s.%s $end\n", ids[s], sanitizeVCD(s.block), sanitizeVCD(s.port))
+// WriteVCD renders a buffered trace as a Value Change Dump (IEEE 1364)
+// so recorded simulations can be inspected in standard waveform
+// viewers (GTKWave and friends). Each traced block.port pair becomes a
+// 1-bit wire; timescale is 1 ms to match the simulator clock. It is a
+// convenience over NewVCDWriter: the signal universe is collected from
+// the trace itself, then the changes stream through the incremental
+// writer — the document is built in bounded memory rather than
+// materialized as one string.
+func WriteVCD(w io.Writer, tr *Trace, designName string) error {
+	vw, err := NewVCDWriter(w, designName, TraceSignals(tr))
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(&b, "$upscope $end\n$enddefinitions $end\n")
-
-	// Initial values: everything 0 at time 0 (the simulator's settle
-	// pass establishes t=0 values; the trace records only subsequent
-	// changes, so dump x->0 defaults first).
-	fmt.Fprintf(&b, "$dumpvars\n")
-	for _, s := range sigs {
-		fmt.Fprintf(&b, "0%s\n", ids[s])
-	}
-	fmt.Fprintf(&b, "$end\n")
-
-	lastTime := int64(-1)
-	for _, c := range tr.All() {
-		if c.Time != lastTime {
-			fmt.Fprintf(&b, "#%d\n", c.Time)
-			lastTime = c.Time
+	for _, c := range tr.changes {
+		if err := vw.Append(c); err != nil {
+			return err
 		}
-		bit := byte('0')
-		if c.Value != 0 {
-			bit = '1'
-		}
-		fmt.Fprintf(&b, "%c%s\n", bit, ids[sig{c.Block, c.Port}])
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return vw.Flush()
 }
 
 // vcdID produces compact printable identifiers: !, ", #, ... per the
