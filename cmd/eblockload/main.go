@@ -1,0 +1,108 @@
+// Command eblockload replays deterministic workload mixes against one
+// or more eblocksd instances and reports per-route/per-cache-tier
+// latency histograms (nearest-rank p50/p90/p99), error and 429 counts,
+// and a machine-readable JSON report — the repo's traffic generator
+// and CI SLO gate.
+//
+// Usage:
+//
+//	eblockload -targets http://127.0.0.1:8080 -mix steady -n 600 -rps 100 \
+//	    -workers 8 -seed 1 -out BENCH_load.json -slo-p99 2s -slo-error-rate 0
+//
+// Mixes (see internal/load): library (Table 1 designs), random
+// (Table 2 populations), unique (cache-busting), hotkey (skewed),
+// batch, simulate, verify, delta (edit chains), steady (composite).
+// Generation is a pure function of (mix, seed, index): the same flags
+// replay the same byte-identical request sequence at any worker
+// count, so runs are comparable across commits.
+//
+// With -rps the run is open-loop (request i fires at start + i/rps no
+// matter how slow the service is); without it each worker runs closed
+// loop. With any -slo-* ceiling set, a breach prints the violations
+// and exits 1 — wiring a short run into CI turns the benchmark
+// trajectory into an enforced curve.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		targets   = flag.String("targets", "http://127.0.0.1:8080", "comma-separated base URLs of the eblocksd instances under test")
+		mix       = flag.String("mix", load.MixSteady, "workload mix: "+strings.Join(load.Mixes(), ", "))
+		n         = flag.Int("n", 600, "total requests to send")
+		rps       = flag.Float64("rps", 0, "open-loop target arrival rate in requests/sec (0 = closed loop)")
+		workers   = flag.Int("workers", 8, "concurrent client goroutines")
+		seed      = flag.Int64("seed", 1, "mix seed; fixes the entire request sequence")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		auth      = flag.String("auth", "", "bearer token sent on every request (identifies this client to per-client quotas)")
+		out       = flag.String("out", "", "write the JSON report here (empty = stdout)")
+		sloP99    = flag.Duration("slo-p99", 0, "fail (exit 1) when any route's p99 exceeds this (0 = unchecked)")
+		sloErrors = flag.Float64("slo-error-rate", -1, "fail when any route's non-2xx/non-429 rate exceeds this fraction (negative = unchecked; 0 = no errors allowed)")
+		sloSheds  = flag.Float64("slo-shed-rate", -1, "fail when any route's 429 rate exceeds this fraction (negative = unchecked)")
+	)
+	flag.Parse()
+
+	gen, err := load.NewGen(*mix, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eblockload:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := load.Run(ctx, gen, load.Options{
+		Targets:   strings.Split(*targets, ","),
+		Requests:  *n,
+		Workers:   *workers,
+		RPS:       *rps,
+		Timeout:   *timeout,
+		AuthToken: *auth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eblockload:", err)
+		os.Exit(2)
+	}
+
+	rep.WriteSummary(os.Stderr)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eblockload:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "eblockload:", err)
+		os.Exit(2)
+	}
+
+	slo := load.SLO{
+		MaxP99:       *sloP99,
+		MaxErrorRate: *sloErrors,
+		CheckErrors:  *sloErrors >= 0,
+		MaxShedRate:  *sloSheds,
+		CheckSheds:   *sloSheds >= 0,
+	}
+	if v := rep.Check(slo); len(v) > 0 {
+		fmt.Fprintln(os.Stderr, "eblockload: SLO violations:")
+		for _, msg := range v {
+			fmt.Fprintln(os.Stderr, "  -", msg)
+		}
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,14 @@
 // naming the tier that served them: "memory", "disk", "remote" or
 // "miss". See docs/API.md for the full HTTP reference.
 //
+// With -max-inflight and/or -quota-rps set, the pipeline routes sit
+// behind an admission gate: each client (bearer token or remote host)
+// gets a token-bucket quota, concurrent pipeline work is bounded with
+// a small wait queue, and excess load is shed with 429 + Retry-After
+// instead of queueing unboundedly. /v1/stats and /metrics expose the
+// gate's counters (eblocksd_admission_total{outcome}) and depth
+// gauges. Observability routes are never gated.
+//
 // The server drains in-flight requests on SIGINT/SIGTERM before
 // exiting (graceful shutdown, 10 s grace period).
 package main
@@ -73,10 +81,19 @@ func main() {
 		storeAuth      = flag.String("store-auth", "", "shared secret for the fleet's /v1/store routes: required of callers on this instance's origin routes and sent to the -store-remote origin (empty = no auth; rely on network isolation)")
 		simMaxEvents   = flag.Int("sim-max-events", 0, "cap on the per-request simulation event budget for /v1/simulate and /v1/verify (0 = the simulator default of 1,000,000)")
 		simInterp      = flag.Bool("sim-interpreter", false, "evaluate behavior programs with the tree-walking interpreter instead of the compiled bytecode VM (an escape hatch; the VM is the default and produces identical traces)")
+		maxInflight    = flag.Int("max-inflight", 0, "bound on concurrent pipeline requests (synthesize/partition/batch/delta/simulate/verify); arrivals beyond it wait in a bounded queue and are shed with 429 past that (0 = unbounded)")
+		queueDepth     = flag.Int("queue-depth", 0, "bound on requests waiting for an inflight slot before new arrivals are shed with 429 (0 = same as -max-inflight, negative = no queue)")
+		quotaRPS       = flag.Float64("quota-rps", 0, "per-client steady-state request quota in requests/sec, keyed by bearer token or remote host; requests beyond it are shed with 429 + Retry-After (0 = no quotas)")
+		quotaBurst     = flag.Int("quota-burst", 0, "per-client token-bucket burst capacity behind -quota-rps (0 = 2x the quota, minimum 1)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, SimMaxEvents: *simMaxEvents, SimInterpreter: *simInterp, StoreAuthToken: *storeAuth}
+	cfg := service.Config{
+		CacheSize: *cacheSize, Workers: *workers,
+		SimMaxEvents: *simMaxEvents, SimInterpreter: *simInterp, StoreAuthToken: *storeAuth,
+		MaxInflight: *maxInflight, QueueDepth: *queueDepth,
+		QuotaRPS: *quotaRPS, QuotaBurst: *quotaBurst,
+	}
 	if *storeRemote != "" && *storeDir == "" {
 		log.Fatalf("eblocksd: -store-remote requires -store-dir (the remote tier layers beneath the local disk tier)")
 	}

@@ -1,0 +1,13 @@
+// Package load is the eblocksd traffic generator: deterministic
+// workload mixes (the paper's Table 1 library and Table 2 random
+// populations, plus adversarial shapes — cache-busting uniques,
+// hot-key skew, batch-vs-single, simulate/verify-heavy traffic and
+// delta edit chains) replayed against one or more service instances in
+// closed or open loop, with per-route/per-cache-tier latency
+// histograms and a machine-readable report.
+//
+// Generation is a pure function of (mix, seed, index): the request at
+// index i is byte-identical across runs and across worker counts, so
+// a load run is replayable and a CI run is an enforceable SLO curve
+// rather than a point sample. cmd/eblockload is the CLI front-end.
+package load

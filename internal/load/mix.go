@@ -1,0 +1,306 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/randgen"
+	"repro/internal/synth"
+)
+
+// Mix names. Each is a deterministic request-shape family; "steady" is
+// the composite CI mix.
+const (
+	// MixSteady blends every other mix at fixed weights — the CI SLO
+	// gate's workload.
+	MixSteady = "steady"
+	// MixLibrary synthesizes the paper's Table 1 library designs,
+	// uniformly — cache-friendly traffic after warmup.
+	MixLibrary = "library"
+	// MixRandom synthesizes Table 2-style random populations
+	// (internal/randgen) over a small seed space — a mixed hit/miss
+	// workload.
+	MixRandom = "random"
+	// MixUnique synthesizes a never-repeating random design per
+	// request — adversarial cache-busting traffic (every request is a
+	// cold pipeline run).
+	MixUnique = "unique"
+	// MixHotKey sends 90% of requests at one hot design and spreads
+	// the rest — hot-key skew.
+	MixHotKey = "hotkey"
+	// MixBatch wraps several library designs per request in /v1/batch
+	// — batch-vs-single amortization.
+	MixBatch = "batch"
+	// MixSimulate is simulate-heavy traffic: stimulus scripts over
+	// library designs.
+	MixSimulate = "simulate"
+	// MixVerify is verify-heavy traffic: full pipeline plus random
+	// stimulus schedules (cacheable by stimulus hash).
+	MixVerify = "verify"
+	// MixDelta sends incremental-synthesis edit chains: a base design
+	// plus a parameter edit whose value walks a small space.
+	MixDelta = "delta"
+)
+
+// Mixes lists the mix names accepted by NewGen, sorted.
+func Mixes() []string {
+	return []string{MixBatch, MixDelta, MixHotKey, MixLibrary, MixRandom, MixSimulate, MixSteady, MixUnique, MixVerify}
+}
+
+// Item is one generated request: POST Path with Body. Route is the
+// report label (the path without query).
+type Item struct {
+	// Index is the item's position in the run's request sequence.
+	Index int
+	// Route labels the item in the report (per-route histograms).
+	Route string
+	// Path is the request path on the target instance.
+	Path string
+	// Body is the JSON request payload.
+	Body []byte
+}
+
+// libEntry is one library design pre-marshaled for request bodies,
+// with the derived knobs the script- and edit-building mixes need.
+type libEntry struct {
+	name    string
+	raw     json.RawMessage // netlist JSON wire form
+	sensors []string        // sensor block names, deterministic order
+	// editBlock/editParam name a parameterized block for set-param
+	// edits ("" when the design has none).
+	editBlock, editParam string
+}
+
+// Gen deterministically generates the request sequence of one load
+// run. Item(i) is a pure function of (mix, seed, i): two generators
+// with equal mix and seed produce byte-identical items at every index,
+// in any order, from any number of goroutines.
+type Gen struct {
+	mix  string
+	seed int64
+	lib  []libEntry
+}
+
+// NewGen builds a generator for the named mix. The seed fixes the
+// entire request sequence.
+func NewGen(mix string, seed int64) (*Gen, error) {
+	found := false
+	for _, m := range Mixes() {
+		if m == mix {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("load: unknown mix %q (have %s)", mix, strings.Join(Mixes(), ", "))
+	}
+	g := &Gen{mix: mix, seed: seed}
+	for _, e := range designs.Library() {
+		d := e.Build()
+		raw, err := netlist.MarshalJSON(d)
+		if err != nil {
+			return nil, fmt.Errorf("load: marshal %q: %w", e.Name, err)
+		}
+		le := libEntry{name: e.Name, raw: raw}
+		gr := d.Graph()
+		for _, id := range d.Sensors() {
+			le.sensors = append(le.sensors, gr.Name(id))
+		}
+		sort.Strings(le.sensors)
+		for _, id := range gr.NodeIDs() {
+			params := d.Params(id)
+			if len(params) == 0 {
+				continue
+			}
+			names := make([]string, 0, len(params))
+			for p := range params {
+				names = append(names, p)
+			}
+			sort.Strings(names)
+			le.editBlock, le.editParam = gr.Name(id), names[0]
+			break
+		}
+		g.lib = append(g.lib, le)
+	}
+	return g, nil
+}
+
+// Mix reports the generator's mix name.
+func (g *Gen) Mix() string { return g.mix }
+
+// rng derives the item's private PRNG: a splitmix64-style hash of
+// (seed, index) seeds a rand.Rand, so items are independent of each
+// other and of generation order.
+func (g *Gen) rng(i int) *rand.Rand {
+	h := uint64(g.seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Item generates the i-th request of the run.
+func (g *Gen) Item(i int) Item {
+	rng := g.rng(i)
+	mix := g.mix
+	if mix == MixSteady {
+		mix = g.steadyPick(rng)
+	}
+	it := g.build(mix, i, rng)
+	it.Index = i
+	return it
+}
+
+// steadyWeights is the composite mix: mostly cacheable synthesis with
+// every adversarial and non-synthesis shape represented.
+var steadyWeights = []struct {
+	mix    string
+	weight int
+}{
+	{MixLibrary, 30},
+	{MixHotKey, 15},
+	{MixSimulate, 15},
+	{MixRandom, 10},
+	{MixBatch, 10},
+	{MixVerify, 10},
+	{MixDelta, 5},
+	{MixUnique, 5},
+}
+
+func (g *Gen) steadyPick(rng *rand.Rand) string {
+	total := 0
+	for _, w := range steadyWeights {
+		total += w.weight
+	}
+	n := rng.Intn(total)
+	for _, w := range steadyWeights {
+		if n < w.weight {
+			return w.mix
+		}
+		n -= w.weight
+	}
+	return MixLibrary
+}
+
+// randomSeedSpace is the seed space of the MixRandom population: small
+// enough that designs repeat (a mixed hit/miss workload), large enough
+// that the working set exceeds typical memory-tier capacity.
+const randomSeedSpace = 256
+
+// randomDesign builds a Table 2-style random design body.
+func randomDesign(rng *rand.Rand, seed int64) json.RawMessage {
+	d := randgen.MustGenerate(randgen.Params{
+		InnerBlocks: 4 + rng.Intn(17),
+		Seed:        seed,
+	})
+	raw, err := netlist.MarshalJSON(d)
+	if err != nil {
+		// MustGenerate designs always marshal; reaching here is an
+		// internal invariant violation.
+		panic(fmt.Sprintf("load: marshal random design: %v", err))
+	}
+	return raw
+}
+
+// script builds a deterministic stimulus schedule toggling the
+// design's sensors.
+func script(rng *rand.Rand, sensors []string, events int) string {
+	var b strings.Builder
+	t := int64(0)
+	for e := 0; e < events; e++ {
+		t += int64(50 + rng.Intn(400))
+		fmt.Fprintf(&b, "at %d set %s %d\n", t, sensors[rng.Intn(len(sensors))], rng.Intn(2))
+	}
+	return b.String()
+}
+
+// build constructs the request for one concrete (non-composite) mix.
+func (g *Gen) build(mix string, i int, rng *rand.Rand) Item {
+	mustBody := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("load: marshal request: %v", err))
+		}
+		return b
+	}
+	synthesize := func(raw json.RawMessage) Item {
+		return Item{
+			Route: "/v1/synthesize", Path: "/v1/synthesize",
+			Body: mustBody(map[string]any{"design": raw}),
+		}
+	}
+	switch mix {
+	case MixLibrary:
+		return synthesize(g.lib[rng.Intn(len(g.lib))].raw)
+	case MixRandom:
+		return synthesize(randomDesign(rng, int64(rng.Intn(randomSeedSpace))))
+	case MixUnique:
+		// The unique seed space starts above the random mix's so the
+		// two never collide: every unique item is a guaranteed cold
+		// synthesis.
+		return synthesize(randomDesign(rng, int64(randomSeedSpace)+int64(i)+g.seed<<20))
+	case MixHotKey:
+		if rng.Float64() < 0.9 {
+			return synthesize(g.lib[len(g.lib)-1].raw) // hottest key: the largest library design
+		}
+		return synthesize(g.lib[rng.Intn(len(g.lib))].raw)
+	case MixBatch:
+		n := 2 + rng.Intn(5)
+		reqs := make([]map[string]any, n)
+		for j := range reqs {
+			reqs[j] = map[string]any{"design": g.lib[rng.Intn(len(g.lib))].raw}
+		}
+		return Item{
+			Route: "/v1/batch", Path: "/v1/batch",
+			Body: mustBody(map[string]any{"requests": reqs}),
+		}
+	case MixSimulate:
+		le := g.lib[rng.Intn(len(g.lib))]
+		return Item{
+			Route: "/v1/simulate", Path: "/v1/simulate",
+			Body: mustBody(map[string]any{
+				"design": le.raw,
+				"script": script(rng, le.sensors, 3+rng.Intn(5)),
+			}),
+		}
+	case MixVerify:
+		le := g.lib[rng.Intn(len(g.lib))]
+		return Item{
+			Route: "/v1/verify", Path: "/v1/verify",
+			Body: mustBody(map[string]any{
+				"design": le.raw,
+				"steps":  5 + rng.Intn(15),
+				"seed":   int64(rng.Intn(8)),
+			}),
+		}
+	case MixDelta:
+		// Only parameterized designs can host a set-param chain; walk
+		// until one is found (the library always has several).
+		le := g.lib[rng.Intn(len(g.lib))]
+		for le.editBlock == "" {
+			le = g.lib[rng.Intn(len(g.lib))]
+		}
+		edit := synth.Edit{
+			Op:    "set-param",
+			Block: le.editBlock,
+			Param: le.editParam,
+			Value: int64(100 * (1 + rng.Intn(32))),
+		}
+		return Item{
+			Route: "/v1/delta", Path: "/v1/delta",
+			Body: mustBody(map[string]any{
+				"design": le.raw,
+				"edits":  []synth.Edit{edit},
+			}),
+		}
+	default:
+		panic(fmt.Sprintf("load: unreachable mix %q", mix))
+	}
+}

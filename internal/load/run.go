@@ -1,0 +1,158 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure one load run.
+type Options struct {
+	// Targets are the base URLs of the eblocksd instances under test
+	// (at least one). Item i goes to Targets[i % len(Targets)], so
+	// the target assignment is as deterministic as the items.
+	Targets []string
+	// Requests is the total number of requests to send (required,
+	// >= 1).
+	Requests int
+	// Workers is the number of concurrent client goroutines
+	// (default 8).
+	Workers int
+	// RPS is the open-loop target arrival rate: item i fires at
+	// start + i/RPS, regardless of how long earlier requests take
+	// (the generator does not slow down when the service does —
+	// that's what makes overload visible). 0 runs closed-loop: each
+	// worker fires its next request as soon as the previous one
+	// completes.
+	RPS float64
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// AuthToken, when set, is sent as "Authorization: Bearer <token>"
+	// on every request (identifies this client to per-client quotas).
+	AuthToken string
+	// Client overrides the HTTP client (tests); nil builds one with
+	// sane pooling for Workers connections.
+	Client *http.Client
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 8
+	}
+	return o.Workers
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = o.workers() * 2
+	tr.MaxIdleConnsPerHost = o.workers() * 2
+	return &http.Client{Transport: tr}
+}
+
+// Run replays the generator's request sequence against the targets and
+// returns the per-route report. Items are claimed by index from a
+// shared counter: the request sequence is exactly Item(0..Requests-1)
+// for any worker count, only the interleaving varies. Run stops early
+// (reporting what completed) when ctx is cancelled.
+func Run(ctx context.Context, gen *Gen, opts Options) (*Report, error) {
+	if len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("load: no targets")
+	}
+	if opts.Requests < 1 {
+		return nil, fmt.Errorf("load: Requests must be >= 1, got %d", opts.Requests)
+	}
+	client := opts.client()
+	rec := newRecorder()
+	var next atomic.Int64
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests || ctx.Err() != nil {
+					return
+				}
+				it := gen.Item(i)
+				if opts.RPS > 0 {
+					due := start.Add(time.Duration(float64(i) / opts.RPS * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				target := opts.Targets[i%len(opts.Targets)]
+				status, tier, d := fire(ctx, client, target, it, opts)
+				rec.observe(it.Route, status, tier, d)
+			}
+		}()
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	sent := int(next.Load())
+	if sent > opts.Requests {
+		sent = opts.Requests
+	}
+	rep := &Report{
+		Mix:       gen.Mix(),
+		Seed:      gen.seed,
+		Targets:   opts.Targets,
+		Workers:   opts.workers(),
+		TargetRPS: opts.RPS,
+		Requests:  sent,
+		Duration:  elapsed,
+		Routes:    rec.report(),
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(sent) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// fire sends one request and classifies the outcome: the HTTP status
+// (0 on transport failure), the X-Cache tier, and the full
+// request+body-drain latency.
+func fire(ctx context.Context, client *http.Client, target string, it Item, opts Options) (status int, tier string, d time.Duration) {
+	rctx, cancel := context.WithTimeout(ctx, opts.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, target+it.Path, bytes.NewReader(it.Body))
+	start := time.Now()
+	if err != nil {
+		return 0, "", time.Since(start)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+opts.AuthToken)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", time.Since(start)
+	}
+	// Latency includes draining the body: a response isn't served
+	// until the client has it.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Cache"), time.Since(start)
+}

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission outcomes, as counted in AdmissionStats and exported as the
+// eblocksd_admission_total{outcome=...} Prometheus series.
+const (
+	admitOutcomeAdmitted  = "admitted"
+	admitOutcomeShedQueue = "shed_queue"
+	admitOutcomeShedQuota = "shed_quota"
+)
+
+// maxQuotaClients bounds the per-client bucket map: beyond it, buckets
+// that have fully refilled (idle clients) are pruned; if every client
+// is active the map is reset outright — a full reset briefly grants
+// every client a fresh burst, which errs on the side of admitting.
+const maxQuotaClients = 4096
+
+// admission is the service's overload gate: a per-client token-bucket
+// rate limit in front of a bounded inflight+queue pipeline. Requests
+// beyond the quota or past the queue bound are shed immediately with
+// 429 + Retry-After instead of piling onto the pipeline — under
+// saturation the service degrades deliberately (fast, bounded 429s)
+// rather than accidentally (unbounded queueing, memory growth,
+// timeouts). All methods are goroutine-safe.
+type admission struct {
+	maxInflight int
+	queueDepth  int
+	quotaRPS    float64
+	quotaBurst  float64
+
+	// slots is the inflight semaphore (nil when MaxInflight is 0 =
+	// unbounded); queued/inflight are the live gauges.
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	admitted  atomic.Uint64
+	shedQueue atomic.Uint64
+	shedQuota atomic.Uint64
+
+	// now is a test hook for the bucket clock.
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// tokenBucket is one client's quota state: a continuously-refilling
+// token count under the admission mutex.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission builds the gate from the service config, or returns nil
+// when neither an inflight bound nor a quota is configured (admission
+// off — every request is admitted with zero overhead, as before).
+func newAdmission(cfg Config) *admission {
+	if cfg.MaxInflight <= 0 && cfg.QuotaRPS <= 0 {
+		return nil
+	}
+	a := &admission{
+		maxInflight: cfg.MaxInflight,
+		queueDepth:  cfg.queueDepth(),
+		quotaRPS:    cfg.QuotaRPS,
+		quotaBurst:  cfg.quotaBurst(),
+		now:         time.Now,
+		buckets:     map[string]*tokenBucket{},
+	}
+	if a.maxInflight > 0 {
+		a.slots = make(chan struct{}, a.maxInflight)
+	}
+	return a
+}
+
+// clientKey identifies the quota principal: the bearer token when the
+// request carries one (fleet members and authenticated clients get
+// their own buckets wherever they connect from), otherwise the remote
+// host. The key stays internal — it is never echoed in responses.
+func clientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok && tok != "" {
+			return "bearer\x00" + tok
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr\x00" + host
+}
+
+// takeToken refills the client's bucket for elapsed time and tries to
+// take one token. On refusal it reports how long until a token is
+// available. remaining is the post-decision whole-token count for the
+// X-RateLimit-Remaining header.
+func (a *admission) takeToken(key string) (ok bool, retryAfter time.Duration, remaining int) {
+	if a.quotaRPS <= 0 {
+		return true, 0, -1
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[key]
+	if b == nil {
+		a.pruneLocked(now)
+		b = &tokenBucket{tokens: a.quotaBurst, last: now}
+		a.buckets[key] = b
+	} else {
+		b.tokens = math.Min(a.quotaBurst, b.tokens+now.Sub(b.last).Seconds()*a.quotaRPS)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0, int(b.tokens)
+	}
+	wait := time.Duration((1 - b.tokens) / a.quotaRPS * float64(time.Second))
+	return false, wait, 0
+}
+
+// pruneLocked bounds the bucket map before inserting a new client:
+// fully-refilled (idle) buckets go first; if every client is active,
+// the map resets outright. Called with mu held.
+func (a *admission) pruneLocked(now time.Time) {
+	if len(a.buckets) < maxQuotaClients {
+		return
+	}
+	for k, b := range a.buckets {
+		if math.Min(a.quotaBurst, b.tokens+now.Sub(b.last).Seconds()*a.quotaRPS) >= a.quotaBurst {
+			delete(a.buckets, k)
+		}
+	}
+	if len(a.buckets) >= maxQuotaClients {
+		a.buckets = map[string]*tokenBucket{}
+	}
+}
+
+// admit runs the gate for one request: quota first (cheap, per-client),
+// then the inflight bound with its bounded wait queue. It returns the
+// outcome plus the Retry-After hint for sheds. An admitted request MUST
+// be paired with release().
+func (a *admission) admit(r *http.Request) (outcome string, retryAfter time.Duration, remaining int) {
+	ok, wait, remaining := a.takeToken(clientKey(r))
+	if !ok {
+		a.shedQuota.Add(1)
+		return admitOutcomeShedQuota, wait, remaining
+	}
+	if a.slots != nil {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			// No free slot: wait in the bounded queue, or shed when it
+			// is full. A waiter whose client disconnects leaves the
+			// queue immediately (counted as a queue shed: the slot it
+			// was waiting for goes to someone else).
+			if a.queued.Add(1) > int64(a.queueDepth) {
+				a.queued.Add(-1)
+				a.shedQueue.Add(1)
+				return admitOutcomeShedQueue, a.queueRetryAfter(), remaining
+			}
+			select {
+			case a.slots <- struct{}{}:
+				a.queued.Add(-1)
+			case <-r.Context().Done():
+				a.queued.Add(-1)
+				a.shedQueue.Add(1)
+				return admitOutcomeShedQueue, a.queueRetryAfter(), remaining
+			}
+		}
+	}
+	a.inflight.Add(1)
+	a.admitted.Add(1)
+	return admitOutcomeAdmitted, 0, remaining
+}
+
+// release returns an admitted request's inflight slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	if a.slots != nil {
+		<-a.slots
+	}
+}
+
+// queueRetryAfter is the Retry-After hint for queue sheds: there is no
+// per-client refill time to compute, so suggest one second — long
+// enough for a slot to open on any realistic pipeline, short enough
+// that clients retry while the burst is over.
+func (a *admission) queueRetryAfter() time.Duration { return time.Second }
+
+// snapshot captures the admission counters and gauges.
+func (a *admission) snapshot() *AdmissionStats {
+	return &AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		ShedQueue:   a.shedQueue.Load(),
+		ShedQuota:   a.shedQuota.Load(),
+		Inflight:    a.inflight.Load(),
+		Queued:      a.queued.Load(),
+		MaxInflight: a.maxInflight,
+		QueueDepth:  a.queueDepth,
+		QuotaRPS:    a.quotaRPS,
+		QuotaBurst:  int(a.quotaBurst),
+	}
+}
+
+// AdmissionStats is the admission gate's /v1/stats block: shed/admit
+// counters, live depth gauges, and the configured bounds (so a
+// dashboard can plot depth against its limit without knowing the
+// deployment's flags).
+type AdmissionStats struct {
+	// Admitted counts requests that passed both the quota and the
+	// inflight bound; ShedQueue / ShedQuota count 429s by cause.
+	Admitted  uint64 `json:"admitted"`
+	ShedQueue uint64 `json:"shedQueue"`
+	ShedQuota uint64 `json:"shedQuota"`
+	// Inflight / Queued are live gauges: requests holding a pipeline
+	// slot and requests waiting for one.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	// MaxInflight / QueueDepth / QuotaRPS / QuotaBurst echo the
+	// configured bounds.
+	MaxInflight int     `json:"maxInflight"`
+	QueueDepth  int     `json:"queueDepth"`
+	QuotaRPS    float64 `json:"quotaRps"`
+	QuotaBurst  int     `json:"quotaBurst"`
+}
+
+// admitted wraps a heavy (pipeline) handler behind the admission gate.
+// Sheds answer 429 with Retry-After (whole seconds, rounded up) and,
+// when quotas are configured, X-RateLimit-Limit/-Remaining; admitted
+// requests run the handler and then release their slot. Cheap routes
+// (stats, metrics, health, store protocol) are registered without this
+// wrapper so the service stays observable under overload.
+func (s *Service) admitted(h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		outcome, retryAfter, remaining := s.adm.admit(r)
+		if s.adm.quotaRPS > 0 {
+			w.Header().Set("X-RateLimit-Limit", fmt.Sprintf("%g", s.adm.quotaRPS))
+			if remaining >= 0 {
+				w.Header().Set("X-RateLimit-Remaining", fmt.Sprintf("%d", remaining))
+			}
+		}
+		if outcome != admitOutcomeAdmitted {
+			secs := int64(math.Ceil(retryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("overloaded (%s): retry after %ds", outcome, secs))
+			return
+		}
+		defer s.adm.release()
+		h(w, r)
+	}
+}

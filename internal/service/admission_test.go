@@ -1,0 +1,326 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionOffByDefault(t *testing.T) {
+	if newAdmission(Config{}) != nil {
+		t.Error("newAdmission with no bounds should be nil (gate off)")
+	}
+	svc, ts := newTestServer(t)
+	if svc.adm != nil {
+		t.Error("default service should have no admission gate")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", JSONRequest{Design: designJSON(t, "Podium Timer 3")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-RateLimit-Limit") != "" || resp.Header.Get("Retry-After") != "" {
+		t.Error("ungated service should not emit rate-limit headers")
+	}
+	if svc.Stats().Admission != nil {
+		t.Error("ungated stats should omit the admission block")
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/synthesize", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := clientKey(r); got != "addr\x0010.1.2.3" {
+		t.Errorf("anonymous key = %q, want addr host", got)
+	}
+	r.Header.Set("Authorization", "Bearer tok-1")
+	if got := clientKey(r); got != "bearer\x00tok-1" {
+		t.Errorf("bearer key = %q, want bearer token", got)
+	}
+	// A different port on the same host is the same client; a different
+	// token is a different client.
+	r2 := httptest.NewRequest(http.MethodPost, "/v1/synthesize", nil)
+	r2.RemoteAddr = "10.1.2.3:7777"
+	if clientKey(r2) != "addr\x0010.1.2.3" {
+		t.Error("port must not change the client key")
+	}
+}
+
+// TestQuotaRefill drives one client's token bucket through burst,
+// refusal, and time-based refill on a fake clock.
+func TestQuotaRefill(t *testing.T) {
+	a := newAdmission(Config{QuotaRPS: 2}) // default burst: ceil(2*2) = 4
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		ok, _, _ := a.takeToken("k")
+		if !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry, remaining := a.takeToken("k")
+	if ok {
+		t.Fatal("fifth immediate token granted past the burst")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retryAfter = %v, want (0, 1s] at 2 rps", retry)
+	}
+	if remaining != 0 {
+		t.Errorf("remaining = %d on refusal, want 0", remaining)
+	}
+
+	// Quotas reset with time: one second at 2 rps refills two tokens.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _, _ := a.takeToken("k"); !ok {
+			t.Fatalf("refilled token %d refused", i)
+		}
+	}
+	if ok, _, _ := a.takeToken("k"); ok {
+		t.Error("third token granted after a 2-token refill")
+	}
+
+	// Other clients are unaffected by k's empty bucket.
+	if ok, _, _ := a.takeToken("other"); !ok {
+		t.Error("fresh client refused while another is throttled")
+	}
+}
+
+// TestQuotaPrune fills the bucket map to its bound and checks that
+// idle (refilled) clients are evicted to make room.
+func TestQuotaPrune(t *testing.T) {
+	a := newAdmission(Config{QuotaRPS: 1000})
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+	for i := 0; i < maxQuotaClients; i++ {
+		a.takeToken(fmt.Sprintf("c%d", i))
+	}
+	// Everyone refills, then a new client arrives: the prune evicts the
+	// idle buckets instead of letting the map grow without bound.
+	now = now.Add(time.Minute)
+	a.takeToken("newcomer")
+	a.mu.Lock()
+	n := len(a.buckets)
+	a.mu.Unlock()
+	if n > 1 {
+		t.Errorf("bucket map holds %d clients after prune, want 1", n)
+	}
+}
+
+// TestAdmitQueueShed exercises the inflight bound without HTTP: with
+// one slot and no queue, a second concurrent request sheds immediately
+// and the slot is reusable after release.
+func TestAdmitQueueShed(t *testing.T) {
+	a := newAdmission(Config{MaxInflight: 1, QueueDepth: -1})
+	r := httptest.NewRequest(http.MethodPost, "/v1/synthesize", nil)
+
+	if out, _, _ := a.admit(r); out != admitOutcomeAdmitted {
+		t.Fatalf("first admit = %s", out)
+	}
+	out, retry, _ := a.admit(r)
+	if out != admitOutcomeShedQueue {
+		t.Fatalf("second admit = %s, want shed_queue", out)
+	}
+	if retry <= 0 {
+		t.Errorf("queue shed Retry-After = %v, want > 0", retry)
+	}
+	a.release()
+	if out, _, _ := a.admit(r); out != admitOutcomeAdmitted {
+		t.Fatalf("admit after release = %s", out)
+	}
+	a.release()
+
+	st := a.snapshot()
+	if st.Admitted != 2 || st.ShedQueue != 1 || st.ShedQuota != 0 {
+		t.Errorf("counters = %+v, want 2 admitted / 1 shed_queue", st)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("gauges = %+v, want zero at rest", st)
+	}
+}
+
+// TestQuotaResetOverHTTP drives the full middleware on a fake clock:
+// burst 200s with descending X-RateLimit-Remaining, a 429 with
+// Retry-After once the bucket is dry, then 200 again after the clock
+// advances.
+func TestQuotaResetOverHTTP(t *testing.T) {
+	svc := New(Config{QuotaRPS: 1, QuotaBurst: 2})
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	svc.adm.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	req := JSONRequest{Design: designJSON(t, "Podium Timer 3")}
+
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-RateLimit-Limit"); got != "1" {
+			t.Errorf("X-RateLimit-Limit = %q, want 1", got)
+		}
+		want := strconv.Itoa(1 - i)
+		if got := resp.Header.Get("X-RateLimit-Remaining"); got != want {
+			t.Errorf("burst request %d: X-RateLimit-Remaining = %q, want %s", i, got, want)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("dry-bucket status %d, want 429: %s", resp.StatusCode, body)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Errorf("429 body %q, want JSON error", body)
+	}
+
+	// Quotas reset over time: advance past the refill and the same
+	// client is admitted again.
+	mu.Lock()
+	now = now.Add(3 * time.Second)
+	mu.Unlock()
+	resp, body = postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill status %d, want 200: %s", resp.StatusCode, body)
+	}
+
+	adm := svc.Stats().Admission
+	if adm == nil || adm.ShedQuota != 1 || adm.Admitted != 3 {
+		t.Errorf("admission stats = %+v, want 3 admitted / 1 shed_quota", adm)
+	}
+}
+
+// TestOverloadShedsCleanly saturates a deliberately tiny pipeline
+// (one slot, one queue seat, a quota far below the offered rate) with
+// concurrent synthesize and simulate traffic and asserts the overload
+// contract: every response is exactly 200 or 429 — never a hang, never
+// a 5xx — every 429 carries Retry-After, and every 200 body is
+// byte-identical to an ungated reference server's answer (coalesced or
+// not, shed load must not change what successful requests compute).
+// The quota guarantees the run actually sheds: all workers share one
+// client key (same host), and 72 requests arrive in well under a
+// second against a burst of 5 plus 20/s refill. Run under -race in CI.
+func TestOverloadShedsCleanly(t *testing.T) {
+	svc := New(Config{MaxInflight: 1, QueueDepth: 1, QuotaRPS: 20, QuotaBurst: 5})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	ref := httptest.NewServer(New(Config{}).Handler())
+	defer ref.Close()
+
+	design := designJSON(t, "Podium Timer 3")
+	synBody, err := json.Marshal(JSONRequest{Design: design})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBody, err := json.Marshal(map[string]any{"design": design, "until": 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{"/v1/synthesize", "/v1/simulate"}
+	bodies := map[string][]byte{"/v1/synthesize": synBody, "/v1/simulate": simBody}
+
+	// Reference answers from the ungated server.
+	want := map[string][]byte{}
+	for _, p := range paths {
+		resp, err := http.Post(ref.URL+p, "application/json", bytes.NewReader(bodies[p]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %s: status %d err %v: %s", p, resp.StatusCode, err, b)
+		}
+		want[p] = b
+	}
+
+	const workers, iters = 12, 6
+	var (
+		mu       sync.Mutex
+		sheds    int
+		statuses = map[int]int{}
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p := paths[(w+i)%len(paths)]
+				resp, err := http.Post(ts.URL+p, "application/json", bytes.NewReader(bodies[p]))
+				if err != nil {
+					t.Errorf("%s: transport error under load: %v", p, err)
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("%s: body read: %v", p, err)
+					continue
+				}
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !bytes.Equal(body, want[p]) {
+						t.Errorf("%s: 200 body under shed load differs from ungated reference", p)
+					}
+					if c := resp.Header.Get("X-Coalesced"); c != "" && c != "true" {
+						t.Errorf("%s: X-Coalesced = %q", p, c)
+					}
+				case http.StatusTooManyRequests:
+					if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+						t.Errorf("%s: 429 Retry-After = %q, want integer >= 1", p, resp.Header.Get("Retry-After"))
+					}
+					mu.Lock()
+					sheds++
+					mu.Unlock()
+				default:
+					t.Errorf("%s: status %d under overload, want exactly 200 or 429: %s", p, resp.StatusCode, body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * iters
+	adm := svc.Stats().Admission
+	if adm == nil {
+		t.Fatal("gated service reports no admission stats")
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Error("no request succeeded: the burst should admit some load")
+	}
+	if sheds == 0 {
+		t.Error("no request shed: the overload never materialized, test proves nothing")
+	}
+	if got := adm.Admitted + adm.ShedQueue + adm.ShedQuota; got != uint64(total) {
+		t.Errorf("admitted(%d)+shed(%d+%d) = %d, want every request accounted (%d)",
+			adm.Admitted, adm.ShedQueue, adm.ShedQuota, got, total)
+	}
+	if uint64(sheds) != adm.ShedQueue+adm.ShedQuota {
+		t.Errorf("client saw %d 429s, gate counted %d", sheds, adm.ShedQueue+adm.ShedQuota)
+	}
+	if adm.Inflight != 0 || adm.Queued != 0 {
+		t.Errorf("gauges not drained after load: %+v", adm)
+	}
+	t.Logf("statuses under overload: %v (gate: %d admitted, %d queue-shed, %d quota-shed)",
+		statuses, adm.Admitted, adm.ShedQueue, adm.ShedQuota)
+}

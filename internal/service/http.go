@@ -90,9 +90,17 @@ func (jr JSONRequest) toRequest() (Request, error) {
 // naming the tier that served them: "memory" (in-process cache),
 // "disk" (persistent store), "remote" (fleet origin) or "miss"
 // (computed by this request). See docs/API.md for the full reference.
+//
+// With admission control configured (Config.MaxInflight and/or
+// Config.QuotaRPS), every pipeline route above — the POSTs — sits
+// behind the overload gate: requests beyond a client's quota or past
+// the bounded pipeline queue are shed with 429 + Retry-After instead
+// of queueing unboundedly. The observability routes (stats, metrics,
+// health, algorithms) and the store protocol stay ungated so the
+// service remains inspectable while saturated.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/synthesize", s.admitted(func(w http.ResponseWriter, r *http.Request) {
 		jr, ok := decodeRequest(w, r)
 		if !ok {
 			return
@@ -109,8 +117,8 @@ func (s *Service) Handler() http.Handler {
 		}
 		w.Header().Set("X-Cache", src.String())
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/partition", s.admitted(func(w http.ResponseWriter, r *http.Request) {
 		jr, ok := decodeRequest(w, r)
 		if !ok {
 			return
@@ -127,8 +135,8 @@ func (s *Service) Handler() http.Handler {
 		}
 		w.Header().Set("X-Cache", src.String())
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/batch", s.admitted(func(w http.ResponseWriter, r *http.Request) {
 		var br BatchRequest
 		if !decodeInto(w, r, &br) {
 			return
@@ -148,11 +156,11 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, BatchResponse{Responses: resps})
-	})
-	mux.HandleFunc("/v1/delta", s.handleDelta)
-	mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	mux.HandleFunc("/v1/simulate/resume", s.handleSimulateResume)
-	mux.HandleFunc("/v1/verify", s.handleVerify)
+	}))
+	mux.HandleFunc("/v1/delta", s.admitted(s.handleDelta))
+	mux.HandleFunc("/v1/simulate", s.admitted(s.handleSimulate))
+	mux.HandleFunc("/v1/simulate/resume", s.admitted(s.handleSimulateResume))
+	mux.HandleFunc("/v1/verify", s.admitted(s.handleVerify))
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string][]string{"algorithms": core.Algorithms()})
 	})

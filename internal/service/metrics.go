@@ -247,6 +247,9 @@ type Stats struct {
 	// bytes, per-tier hits, evictions); absent when the service runs
 	// memory-only.
 	Store *store.Stats `json:"store,omitempty"`
+	// Admission carries the overload gate's counters and gauges;
+	// absent when admission control is not configured.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // nearestRank returns the index of the q-th quantile of a sorted

@@ -82,6 +82,21 @@ func promText(st Stats) string {
 	sample("eblocksd_request_latency_seconds_sum", "", secs(st.LatencySum))
 	sample("eblocksd_request_latency_seconds_count", "", st.Requests)
 
+	if as := st.Admission; as != nil {
+		counter("eblocksd_admission_total", "Admission-gate decisions on pipeline requests, by outcome.")
+		sample("eblocksd_admission_total", `outcome="admitted"`, as.Admitted)
+		sample("eblocksd_admission_total", `outcome="shed_queue"`, as.ShedQueue)
+		sample("eblocksd_admission_total", `outcome="shed_quota"`, as.ShedQuota)
+		gauge("eblocksd_admission_inflight", "Pipeline requests currently holding an inflight slot.")
+		sample("eblocksd_admission_inflight", "", as.Inflight)
+		gauge("eblocksd_admission_queue_depth", "Pipeline requests currently waiting for an inflight slot.")
+		sample("eblocksd_admission_queue_depth", "", as.Queued)
+		gauge("eblocksd_admission_queue_limit", "Configured bound on the admission wait queue.")
+		sample("eblocksd_admission_queue_limit", "", as.QueueDepth)
+		gauge("eblocksd_admission_inflight_limit", "Configured bound on concurrent pipeline requests (0 = unbounded).")
+		sample("eblocksd_admission_inflight_limit", "", as.MaxInflight)
+	}
+
 	if ss := st.Store; ss != nil {
 		gauge("eblocksd_store_entries", "Artifacts resident in the store's disk tier.")
 		sample("eblocksd_store_entries", "", ss.Entries)

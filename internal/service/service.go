@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -46,6 +47,27 @@ type Config struct {
 	// store.AuthMiddleware). Fleets whose members set the same token
 	// in their remote backends interoperate; everyone else gets 401.
 	StoreAuthToken string
+	// MaxInflight bounds how many pipeline (synthesize, partition,
+	// batch, delta, simulate, verify) requests run concurrently;
+	// arrivals beyond it wait in a bounded queue (QueueDepth) and are
+	// shed with 429 + Retry-After past that. 0 means unbounded, as
+	// before.
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an inflight
+	// slot before new arrivals are shed with 429. 0 defaults to
+	// MaxInflight; negative means no queue (shed as soon as every
+	// slot is busy). Ignored when MaxInflight is 0.
+	QueueDepth int
+	// QuotaRPS, when positive, rate-limits each client (keyed by
+	// bearer token when the request carries one, else by remote host)
+	// to this steady-state request rate via a token bucket of
+	// QuotaBurst capacity. Requests beyond the quota are shed with
+	// 429 + Retry-After. 0 means no per-client quotas.
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket capacity behind QuotaRPS: how far
+	// a client may briefly exceed the steady-state rate. 0 defaults to
+	// ceil(2*QuotaRPS), minimum 1.
+	QuotaBurst int
 }
 
 func (c Config) cacheSize() int {
@@ -60,6 +82,28 @@ func (c Config) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	switch {
+	case c.QueueDepth < 0:
+		return 0
+	case c.QueueDepth == 0:
+		return c.MaxInflight
+	default:
+		return c.QueueDepth
+	}
+}
+
+func (c Config) quotaBurst() float64 {
+	if c.QuotaBurst > 0 {
+		return float64(c.QuotaBurst)
+	}
+	b := math.Ceil(2 * c.QuotaRPS)
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // Service synthesizes designs with result caching. Safe for concurrent
@@ -92,6 +136,9 @@ type Service struct {
 	synthGroup  flight.Group[synthOutcome]
 	simGroup    flight.Group[*SimulateResponse]
 	verifyGroup flight.Group[verifyOutcome]
+	// adm is the overload gate in front of the pipeline routes
+	// (nil when neither MaxInflight nor QuotaRPS is configured).
+	adm *admission
 }
 
 // synthOutcome is what a synthesis flight produces: the response plus
@@ -109,6 +156,7 @@ func New(cfg Config) *Service {
 		cache:        newLRU(cfg.cacheSize()),
 		sem:          make(chan struct{}, cfg.workers()),
 		partInflight: map[string]chan struct{}{},
+		adm:          newAdmission(cfg),
 	}
 }
 
@@ -494,6 +542,9 @@ func (s *Service) Stats() Stats {
 	if s.store != nil {
 		ss := s.store.Stats()
 		st.Store = &ss
+	}
+	if s.adm != nil {
+		st.Admission = s.adm.snapshot()
 	}
 	return st
 }
