@@ -1,0 +1,114 @@
+// Command eblocksrouter is the sharded fleet's stateless front end:
+// it rendezvous-hashes each request's design fingerprint across a
+// configured set of eblocksd workers, proxies every pipeline route to
+// the design's owner shard, and scatter-gathers /v1/batch across the
+// fleet, streaming the merged results back as NDJSON.
+//
+// Usage:
+//
+//	eblocksrouter -addr :8090 -workers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// The workers are expected to share one artifact namespace (each
+// pointed via -store-remote at a common origin), which is what makes
+// the router's single sibling retry safe: a request replayed on the
+// rendezvous sibling recomputes into — or is served from — the same
+// content-addressed store. Membership is maintained by periodic
+// /healthz probes plus passive failure marking; an unhealthy shard
+// sits out a cooldown before a successful probe returns it to
+// rotation.
+//
+// Endpoints mirror eblocksd's pipeline surface (see docs/API.md):
+// /v1/synthesize, /v1/partition, /v1/delta, /v1/verify, /v1/simulate
+// (including ?stream=ndjson and ?format=vcd pass-through),
+// /v1/simulate/resume and /v1/batch, plus the router's own /v1/stats,
+// /metrics and /healthz. Proxied responses carry X-Shard and, after a
+// sibling retry, X-Retried-Shard.
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before
+// exiting (graceful shutdown, 10 s grace period).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		workers       = flag.String("workers", "", "comma-separated base URLs of the eblocksd workers to shard across (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "period between /healthz probes of each worker")
+		cooldown      = flag.Duration("cooldown", 2*time.Second, "how long an unhealthy worker stays out of rotation after its last observed failure")
+		timeout       = flag.Duration("timeout", 60*time.Second, "end-to-end bound on each buffered proxy attempt (streaming bodies are unbounded; this bounds their response-header wait)")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "bound on one /healthz probe round trip")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, w)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatalf("eblocksrouter: -workers is required (comma-separated eblocksd base URLs)")
+	}
+
+	rt, err := router.New(router.Options{
+		Workers:       urls,
+		ProbeInterval: *probeInterval,
+		Cooldown:      *cooldown,
+		Timeout:       *timeout,
+		ProbeTimeout:  *probeTimeout,
+	})
+	if err != nil {
+		log.Fatalf("eblocksrouter: %v", err)
+	}
+	defer rt.Close()
+	rt.ProbeOnce(context.Background())
+	rt.StartProbes()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("eblocksrouter: listening on %s, sharding across %d workers", *addr, len(urls))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("eblocksrouter: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("eblocksrouter: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("eblocksrouter: shutdown: %v", err)
+		}
+	}
+
+	st := rt.Stats()
+	fmt.Fprintf(os.Stderr, "eblocksrouter: served %d requests (%d retries, %d errors) across %d/%d healthy shards, p50 %v p99 %v\n",
+		st.Requests, st.Retries, st.Errors, st.HealthyShards, len(st.Shards), st.P50, st.P99)
+}

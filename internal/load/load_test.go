@@ -288,3 +288,86 @@ func TestNearestRank(t *testing.T) {
 		t.Errorf("empty quantiles = %+v", q)
 	}
 }
+
+// TestShardBreakdown: responses labeled X-Shard / X-Retried-Shard
+// (a router-fronted run) produce the per-shard report section —
+// service counts, error splits, absorbed retries charged to the
+// serving shard and caused retries to the one that failed first —
+// and a bare-worker run (no labels) produces none.
+func TestShardBreakdown(t *testing.T) {
+	rec := newRecorder()
+	rec.observeShard("a:1", "", 200)
+	rec.observeShard("a:1", "", 200)
+	rec.observeShard("a:1", "", 502)
+	rec.observeShard("b:2", "a:1", 200) // b absorbed a retry a caused
+	rec.observeShard("b:2", "", 200)
+
+	shards := rec.shardReport()
+	if len(shards) != 2 || shards[0].Shard != "a:1" || shards[1].Shard != "b:2" {
+		t.Fatalf("shard report = %+v", shards)
+	}
+	a, b := shards[0], shards[1]
+	if a.Count != 3 || a.OK != 2 || a.Errors != 1 || a.Absorbed != 0 || a.CausedRetries != 1 {
+		t.Errorf("shard a ledger: %+v", a)
+	}
+	if b.Count != 2 || b.OK != 2 || b.Errors != 0 || b.Absorbed != 1 || b.CausedRetries != 0 {
+		t.Errorf("shard b ledger: %+v", b)
+	}
+
+	rep := &Report{Shards: shards}
+	var buf bytes.Buffer
+	rep.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "shard a:1") || !strings.Contains(buf.String(), "causedRetries=1") {
+		t.Errorf("summary missing shard lines:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Shards) != 2 || back.Shards[1].Absorbed != 1 {
+		t.Errorf("shard section did not survive the JSON round trip: %+v", back.Shards)
+	}
+
+	// A run against a bare worker (no X-Shard) reports no shard
+	// section at all (omitempty keeps BENCH_load.json unchanged).
+	if got := newRecorder().shardReport(); len(got) != 0 {
+		t.Errorf("empty recorder produced shards: %+v", got)
+	}
+}
+
+// TestRunCapturesShardHeaders: Run end to end against a target that
+// labels responses with X-Shard propagates the labels into the
+// report's shard section.
+func TestRunCapturesShardHeaders(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Shard", "w1:8080")
+		if r.URL.Path == "/v1/delta" {
+			w.Header().Set("X-Retried-Shard", "w2:8080")
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	gen, err := NewGen(MixDelta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), gen, Options{Targets: []string{ts.URL}, Requests: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("shard section = %+v, want w1 and w2", rep.Shards)
+	}
+	w1, w2 := rep.Shards[0], rep.Shards[1]
+	if w1.Shard != "w1:8080" || w1.Count != 6 || w1.Absorbed != 6 {
+		t.Errorf("w1 ledger: %+v", w1)
+	}
+	if w2.Shard != "w2:8080" || w2.CausedRetries != 6 || w2.Count != 0 {
+		t.Errorf("w2 ledger: %+v", w2)
+	}
+}

@@ -18,10 +18,19 @@ import (
 const maxSamplesPerKey = 1 << 20
 
 // recorder accumulates per-(route, tier) latencies and per-route
-// status counts during a run. Goroutine-safe.
+// status counts during a run, plus a per-shard breakdown when the
+// target labels responses with X-Shard (an eblocksrouter front end).
+// Goroutine-safe.
 type recorder struct {
 	mu     sync.Mutex
 	routes map[string]*routeAcc
+	shards map[string]*shardAcc
+}
+
+type shardAcc struct {
+	count, ok, errors int
+	absorbed          int // served after a sibling retry (X-Retried-Shard present)
+	caused            int // named in X-Retried-Shard (this shard failed first)
 }
 
 type routeAcc struct {
@@ -37,7 +46,35 @@ type tierAcc struct {
 }
 
 func newRecorder() *recorder {
-	return &recorder{routes: map[string]*routeAcc{}}
+	return &recorder{routes: map[string]*routeAcc{}, shards: map[string]*shardAcc{}}
+}
+
+// observeShard records which shard served one response (the X-Shard
+// header) and, when the response came out of a sibling retry, which
+// shard failed first (X-Retried-Shard).
+func (rec *recorder) observeShard(shard, retriedFrom string, status int) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	sa := rec.shards[shard]
+	if sa == nil {
+		sa = &shardAcc{}
+		rec.shards[shard] = sa
+	}
+	sa.count++
+	if status >= 200 && status < 300 {
+		sa.ok++
+	} else {
+		sa.errors++
+	}
+	if retriedFrom != "" {
+		sa.absorbed++
+		ca := rec.shards[retriedFrom]
+		if ca == nil {
+			ca = &shardAcc{}
+			rec.shards[retriedFrom] = ca
+		}
+		ca.caused++
+	}
 }
 
 // observe records one completed request. status 0 means a transport
@@ -170,6 +207,28 @@ type Report struct {
 	AchievedRPS float64       `json:"achievedRps"`
 	// Routes are the per-route histograms, sorted by route.
 	Routes []RouteStats `json:"routes"`
+	// Shards is the per-shard breakdown, present only when the target
+	// labeled responses with X-Shard (an eblocksrouter front end);
+	// sorted by shard name.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one shard's slice of a router-fronted load run, built
+// from the X-Shard / X-Retried-Shard response headers.
+type ShardStats struct {
+	// Shard is the X-Shard label (the worker's host:port).
+	Shard string `json:"shard"`
+	// Count is how many responses the shard served; OK the 2xx
+	// subset, Errors everything else.
+	Count  int `json:"count"`
+	OK     int `json:"ok"`
+	Errors int `json:"errors"`
+	// Absorbed counts responses this shard served after a sibling
+	// retry; CausedRetries counts responses that named this shard in
+	// X-Retried-Shard (it failed first and a sibling absorbed the
+	// request).
+	Absorbed      int `json:"absorbed"`
+	CausedRetries int `json:"causedRetries"`
 }
 
 // report assembles the final Report from the recorder's accumulators.
@@ -221,6 +280,27 @@ func (rec *recorder) report() []RouteStats {
 	return out
 }
 
+// shardReport assembles the per-shard breakdown (empty when no
+// response carried X-Shard).
+func (rec *recorder) shardReport() []ShardStats {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	names := make([]string, 0, len(rec.shards))
+	for n := range rec.shards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ShardStats, 0, len(names))
+	for _, n := range names {
+		sa := rec.shards[n]
+		out = append(out, ShardStats{
+			Shard: n, Count: sa.count, OK: sa.ok, Errors: sa.errors,
+			Absorbed: sa.absorbed, CausedRetries: sa.caused,
+		})
+	}
+	return out
+}
+
 // WriteJSON writes the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -240,6 +320,10 @@ func (r *Report) WriteSummary(w io.Writer) {
 			fmt.Fprintf(w, "    %-18s n=%-6d p50=%-10v p99=%-10v\n",
 				"tier="+ts.Tier, ts.Count, ts.P50.Round(time.Microsecond), ts.P99.Round(time.Microsecond))
 		}
+	}
+	for _, ss := range r.Shards {
+		fmt.Fprintf(w, "  shard %-20s n=%-6d ok=%-6d err=%-4d absorbed=%-4d causedRetries=%d\n",
+			ss.Shard, ss.Count, ss.OK, ss.Errors, ss.Absorbed, ss.CausedRetries)
 	}
 }
 

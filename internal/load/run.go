@@ -103,8 +103,11 @@ func Run(ctx context.Context, gen *Gen, opts Options) (*Report, error) {
 					}
 				}
 				target := opts.Targets[i%len(opts.Targets)]
-				status, tier, d := fire(ctx, client, target, it, opts)
+				status, tier, shard, retried, d := fire(ctx, client, target, it, opts)
 				rec.observe(it.Route, status, tier, d)
+				if shard != "" {
+					rec.observeShard(shard, retried, status)
+				}
 			}
 		}()
 	}
@@ -124,6 +127,7 @@ func Run(ctx context.Context, gen *Gen, opts Options) (*Report, error) {
 		Requests:  sent,
 		Duration:  elapsed,
 		Routes:    rec.report(),
+		Shards:    rec.shardReport(),
 	}
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(sent) / elapsed.Seconds()
@@ -132,15 +136,17 @@ func Run(ctx context.Context, gen *Gen, opts Options) (*Report, error) {
 }
 
 // fire sends one request and classifies the outcome: the HTTP status
-// (0 on transport failure), the X-Cache tier, and the full
-// request+body-drain latency.
-func fire(ctx context.Context, client *http.Client, target string, it Item, opts Options) (status int, tier string, d time.Duration) {
+// (0 on transport failure), the X-Cache tier, the X-Shard /
+// X-Retried-Shard labels (set when the target is an eblocksrouter;
+// empty against a bare worker), and the full request+body-drain
+// latency.
+func fire(ctx context.Context, client *http.Client, target string, it Item, opts Options) (status int, tier, shard, retried string, d time.Duration) {
 	rctx, cancel := context.WithTimeout(ctx, opts.timeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, target+it.Path, bytes.NewReader(it.Body))
 	start := time.Now()
 	if err != nil {
-		return 0, "", time.Since(start)
+		return 0, "", "", "", time.Since(start)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if opts.AuthToken != "" {
@@ -148,11 +154,12 @@ func fire(ctx context.Context, client *http.Client, target string, it Item, opts
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, "", time.Since(start)
+		return 0, "", "", "", time.Since(start)
 	}
 	// Latency includes draining the body: a response isn't served
 	// until the client has it.
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, resp.Header.Get("X-Cache"), time.Since(start)
+	return resp.StatusCode, resp.Header.Get("X-Cache"),
+		resp.Header.Get("X-Shard"), resp.Header.Get("X-Retried-Shard"), time.Since(start)
 }

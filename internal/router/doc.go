@@ -1,0 +1,14 @@
+// Package router is the sharded fleet's stateless front end: it
+// rendezvous-hashes design fingerprints across a configured set of
+// eblocksd workers, proxies every pipeline route to the owning shard
+// (with one retry on the rendezvous sibling when the owner is down —
+// safe because the workers share one content-addressed store origin),
+// scatter-gathers /v1/batch across shards as a merged NDJSON stream,
+// and maintains membership with periodic /healthz probes behind an
+// unhealthy-cooldown state machine. Responses carry X-Shard (the
+// worker that served them) and X-Retried-Shard (the worker that
+// failed first, when a sibling retry served the request); the router
+// exposes its own /v1/stats and Prometheus /metrics with per-shard
+// request/error/retry counters, health transitions, and fan-out
+// latency quantiles. Command eblocksrouter is the binary.
+package router

@@ -1,0 +1,187 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzRoutes are the router entry points the dispatch fuzzer cycles
+// through (the selector byte indexes this list).
+var fuzzRoutes = []string{
+	"/v1/synthesize",
+	"/v1/partition",
+	"/v1/verify",
+	"/v1/delta",
+	"/v1/simulate",
+	"/v1/simulate?stream=ndjson",
+	"/v1/simulate?format=vcd",
+	"/v1/simulate/resume",
+	"/v1/batch",
+	"/v1/algorithms",
+	"/v1/stats",
+	"/metrics",
+	"/healthz",
+}
+
+// hostileWorker answers every proxied request with a failure shape
+// chosen by the request body's length — truncated NDJSON streams,
+// oversized stream records, short bodies behind a lying
+// Content-Length, raw garbage, connection kills — so the fuzzer
+// drives the router's every abort/retry path, not just its happy one.
+func hostileWorker(w http.ResponseWriter, r *http.Request) {
+	var n int64
+	if r.Body != nil {
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		n = int64(buf.Len())
+	}
+	switch n % 6 {
+	case 0: // well-formed JSON answer
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok": true}`)
+	case 1: // NDJSON stream truncated mid-record
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{\"type\":\"start\"}\n{\"type\":\"prog")
+	case 2: // NDJSON stream with a record past the router's line cap
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"pad":"`))
+		pad := bytes.Repeat([]byte("x"), maxStreamLine)
+		w.Write(pad)
+		w.Write([]byte("\"}\n"))
+	case 3: // short body behind a lying Content-Length
+		w.Header().Set("Content-Length", "100000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"responses": [`))
+	case 4: // connection killed before any response bytes
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	default: // raw garbage with a worker error status
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte("\x00\xff not json at all"))
+	}
+}
+
+// FuzzRouterDispatch throws malformed bodies, hostile headers and
+// every route at a router whose workers are actively hostile (one
+// returns truncated/oversized/garbage responses, one is dead). The
+// invariants: the router never panics, always terminates the
+// response, never forwards a torn NDJSON line as if complete, and
+// leaks no goroutines across the whole run.
+func FuzzRouterDispatch(f *testing.F) {
+	baseline := runtime.NumGoroutine()
+
+	hostile := httptest.NewServer(http.HandlerFunc(hostileWorker))
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from the first request on
+
+	rt, err := New(Options{
+		Workers: []string{hostile.URL, dead.URL},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := rt.Handler()
+
+	f.Cleanup(func() {
+		rt.Close()
+		hostile.Close()
+		rt.client.CloseIdleConnections()
+		// Goroutine-leak check: after the servers and idle connections
+		// are torn down, the count must settle back to (about) the
+		// pre-fuzz baseline. The retry loop absorbs scheduler lag.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= baseline+3 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				f.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
+					runtime.NumGoroutine(), baseline, buf[:n])
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+
+	f.Add(byte(0), []byte(`{"design": {"name": "d", "blocks": []}}`), "")
+	f.Add(byte(4), []byte(`not json`), "Accept: anything")
+	f.Add(byte(5), []byte(`{"fingerprint": "abc", "until": 100}`), "X-Hostile: \x00\nInjected: line")
+	f.Add(byte(8), []byte(`{"requests": [{"ebk": "x"}, {"design": null}]}`), "")
+	f.Add(byte(8), []byte(`{"requests": []}`), "")
+	f.Add(byte(7), []byte(``), "Transfer-Encoding: chunked")
+	f.Add(byte(9), bytes.Repeat([]byte("A"), 6), "")
+	f.Add(byte(12), []byte(`{}`), strings.Repeat("h", 300))
+
+	f.Fuzz(func(t *testing.T, sel byte, body []byte, hostileHeader string) {
+		route := fuzzRoutes[int(sel)%len(fuzzRoutes)]
+		req := httptest.NewRequest(http.MethodPost, route, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if hostileHeader != "" {
+			// Bypass Set's validation on purpose: hostile values with
+			// control bytes must die in the router's forwarding path,
+			// not panic it.
+			req.Header["X-Fuzz"] = []string{hostileHeader}
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode == 0 {
+			t.Fatalf("%s: no status written", route)
+		}
+		// The no-torn-records invariant applies exactly where the
+		// router frames lines itself: NDJSON streaming pass-through
+		// (stream=ndjson request answered 200) and its own
+		// scatter-gathered batch records (X-Fanout set). Buffered
+		// routes forward the worker's complete response verbatim —
+		// byte-identity, not re-framing, is their contract.
+		framed := (strings.Contains(route, "stream=ndjson") && resp.StatusCode == http.StatusOK &&
+			strings.Contains(resp.Header.Get("Content-Type"), "ndjson")) ||
+			resp.Header.Get("X-Fanout") != ""
+		if framed {
+			raw := rec.Body.Bytes()
+			if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+				t.Fatalf("%s: NDJSON body ends mid-line: %q", route, tail(raw))
+			}
+			sc := bufio.NewScanner(bytes.NewReader(raw))
+			sc.Buffer(make([]byte, 0, 2*maxStreamLine), 2*maxStreamLine)
+			for sc.Scan() {
+				var v any
+				if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+					t.Fatalf("%s: torn NDJSON line %q: %v", route, tail(sc.Bytes()), err)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatalf("%s: scanning response: %v", route, err)
+			}
+		}
+	})
+}
+
+// tail clips a byte slice for failure messages.
+func tail(b []byte) []byte {
+	if len(b) > 120 {
+		return b[len(b)-120:]
+	}
+	return b
+}

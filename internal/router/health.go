@@ -1,0 +1,174 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// shard is one worker in the fleet: its identity, its health state
+// machine, and its share of the router's counters. All fields behind
+// mu; the health machine is driven both actively (periodic /healthz
+// probes) and passively (a transport-level proxy failure marks the
+// shard unhealthy immediately, so the fleet reacts faster than one
+// probe interval).
+type shard struct {
+	name string // the X-Shard label; defaults to the base URL sans scheme
+	base string // base URL, no trailing slash
+
+	mu      sync.Mutex
+	healthy bool
+	// cooldownUntil gates recovery: an unhealthy shard rejoins only
+	// when a probe succeeds at or after this instant, so a flapping
+	// worker (up for a probe, down for the next request) cannot
+	// oscillate back into rotation faster than the cooldown.
+	cooldownUntil time.Time
+	// transitions counts health flips in either direction.
+	transitions uint64
+	// requests/errors/retries: proxied attempts sent to this shard,
+	// attempts that failed at the transport level, and retry attempts
+	// this shard's failures caused (counted against the failed shard,
+	// not the sibling that absorbed them).
+	requests, errors, retries uint64
+}
+
+// markFailureFor transitions the shard to unhealthy (passive proxy
+// failure or probe failure) and restarts its cooldown clock.
+func (s *shard) markFailureFor(now time.Time, cooldown time.Duration) {
+	s.mu.Lock()
+	if s.healthy {
+		s.healthy = false
+		s.transitions++
+	}
+	s.cooldownUntil = now.Add(cooldown)
+	s.mu.Unlock()
+}
+
+// markSuccess transitions an unhealthy shard back to healthy when its
+// cooldown has elapsed (probe success path).
+func (s *shard) markSuccess(now time.Time) {
+	s.mu.Lock()
+	if !s.healthy && !now.Before(s.cooldownUntil) {
+		s.healthy = true
+		s.transitions++
+	}
+	s.mu.Unlock()
+}
+
+// isHealthy reports the shard's current state.
+func (s *shard) isHealthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+// observe accumulates one proxied attempt's outcome.
+func (s *shard) observe(failed bool) {
+	s.mu.Lock()
+	s.requests++
+	if failed {
+		s.errors++
+	}
+	s.mu.Unlock()
+}
+
+// observeRetry charges one sibling retry to the shard whose failure
+// caused it.
+func (s *shard) observeRetry() {
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+
+// ProbeOnce probes every shard's /healthz once, applying the health
+// state machine: a failed probe (transport error or non-2xx) marks
+// the shard unhealthy and restarts its cooldown; a successful probe
+// returns it to rotation once the cooldown has elapsed. Exported so
+// tests (and the startup path) can drive membership deterministically
+// without waiting on the background prober.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, s := range rt.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			rt.probe(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe checks one shard's /healthz.
+func (rt *Router) probe(ctx context.Context, s *shard) {
+	pctx, cancel := context.WithTimeout(ctx, rt.opts.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, s.base+"/healthz", nil)
+	if err != nil {
+		s.markFailureFor(time.Now(), rt.opts.cooldown())
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		s.markFailureFor(time.Now(), rt.opts.cooldown())
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		s.markFailureFor(time.Now(), rt.opts.cooldown())
+		return
+	}
+	s.markSuccess(time.Now())
+}
+
+// StartProbes launches the background membership prober: every probe
+// interval, each shard's /healthz is checked and the health machine
+// advanced. It returns immediately; Close stops the prober.
+func (rt *Router) StartProbes() {
+	rt.probeOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(rt.opts.probeInterval())
+			defer t.Stop()
+			for {
+				select {
+				case <-rt.done:
+					return
+				case <-t.C:
+					rt.ProbeOnce(context.Background())
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background prober (idempotent). In-flight proxied
+// requests are unaffected.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.done) })
+}
+
+// healthyShards snapshots the names of shards currently in rotation;
+// when every shard is unhealthy it returns all of them (routing to a
+// probably-dead worker and failing with a typed error beats refusing
+// outright, and the first success flips the shard back after its
+// cooldown).
+func (rt *Router) healthyShards() []string {
+	names := make([]string, 0, len(rt.shards))
+	for _, s := range rt.shards {
+		if s.isHealthy() {
+			names = append(names, s.name)
+		}
+	}
+	if len(names) == 0 {
+		for _, s := range rt.shards {
+			names = append(names, s.name)
+		}
+	}
+	return names
+}
+
+// shardByName resolves a shard name from Rank output back to its
+// state; names are unique by construction (New rejects duplicates).
+func (rt *Router) shardByName(name string) *shard {
+	return rt.byName[name]
+}

@@ -1,0 +1,55 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// score is the rendezvous (highest-random-weight) weight of one
+// (shard, key) pair: the first eight bytes of
+// SHA-256("shard\x00key"), big-endian. SHA-256 keeps the weights
+// well-mixed for arbitrary shard names and keys (fingerprints are
+// already uniform, but keys may also be opaque body hashes or short
+// test strings), so ownership stays within a constant factor of fair
+// share without per-shard virtual nodes.
+func score(shard, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// Rank orders shard names by descending rendezvous weight for key:
+// Rank(key, shards)[0] is the key's owner, [1] its first sibling (the
+// retry target), and so on. The ordering is a pure function of the
+// (key, shard-name) pairs — independent of the input order, and
+// stable under membership changes in the rendezvous sense: removing
+// one shard from the input remaps only the keys that shard owned
+// (every other key's owner is unchanged), and adding it back restores
+// the original assignment exactly. Ties (impossible in practice for
+// 64-bit weights) break toward the lexically smaller name so the
+// order is total either way.
+func Rank(key string, shards []string) []string {
+	out := make([]string, len(shards))
+	copy(out, shards)
+	weights := make(map[string]uint64, len(shards))
+	for _, s := range out {
+		weights[s] = score(s, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := weights[out[i]], weights[out[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Owner is Rank(key, shards)[0]: the shard that owns key. It panics
+// on an empty shard set (callers gate on membership first).
+func Owner(key string, shards []string) string {
+	return Rank(key, shards)[0]
+}

@@ -1,0 +1,151 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// pickerKeys is the property-test key population: every library
+// design's real fingerprint plus 500 seeded-random keys, so the
+// balance and disruption properties are checked both on the keys the
+// fleet actually routes and on an arbitrary population.
+func pickerKeys(t *testing.T) []string {
+	t.Helper()
+	var keys []string
+	for _, e := range designs.Library() {
+		keys = append(keys, netlist.Fingerprint(e.Build()))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d-%x", i, rng.Uint64()))
+	}
+	return keys
+}
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+// TestRankDeterministicAndOrderIndependent: ownership is a pure
+// function of the (key, shard set) pair, not of input order.
+func TestRankDeterministicAndOrderIndependent(t *testing.T) {
+	shards := shardNames(5)
+	reversed := make([]string, len(shards))
+	for i, s := range shards {
+		reversed[len(shards)-1-i] = s
+	}
+	for _, key := range pickerKeys(t) {
+		a := Rank(key, shards)
+		b := Rank(key, reversed)
+		if len(a) != len(b) {
+			t.Fatalf("Rank length changed with input order: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Rank(%q) depends on input order: %v vs %v", key, a, b)
+			}
+		}
+		if Owner(key, shards) != a[0] {
+			t.Fatalf("Owner(%q) != Rank[0]", key)
+		}
+	}
+}
+
+// TestOwnerBalance: over the library fingerprints plus 500 random
+// keys, no shard owns more than twice its fair share.
+func TestOwnerBalance(t *testing.T) {
+	keys := pickerKeys(t)
+	for _, n := range []int{2, 3, 5, 8} {
+		shards := shardNames(n)
+		counts := map[string]int{}
+		for _, key := range keys {
+			counts[Owner(key, shards)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, s := range shards {
+			if c := counts[s]; float64(c) > 2*fair {
+				t.Errorf("n=%d: shard %s owns %d of %d keys (> 2x fair share %.1f)", n, s, c, len(keys), fair)
+			}
+			if counts[s] == 0 {
+				t.Errorf("n=%d: shard %s owns no keys", n, s)
+			}
+		}
+	}
+}
+
+// TestMinimalDisruption: removing one shard remaps ONLY the keys that
+// shard owned — every key owned by a survivor keeps its owner — and
+// the orphaned keys spread across the survivors rather than piling
+// onto one. Adding the shard back restores the original assignment
+// exactly. This is the rendezvous property the fleet's cache locality
+// rests on: a worker dying (or rejoining) must not reshuffle the
+// other workers' working sets.
+func TestMinimalDisruption(t *testing.T) {
+	keys := pickerKeys(t)
+	for _, n := range []int{3, 5, 8} {
+		shards := shardNames(n)
+		before := map[string]string{}
+		for _, key := range keys {
+			before[key] = Owner(key, shards)
+		}
+
+		for victim := 0; victim < n; victim++ {
+			survivors := make([]string, 0, n-1)
+			for i, s := range shards {
+				if i != victim {
+					survivors = append(survivors, s)
+				}
+			}
+			remapped := 0
+			landed := map[string]int{}
+			for _, key := range keys {
+				after := Owner(key, survivors)
+				if before[key] == shards[victim] {
+					remapped++
+					landed[after]++
+					continue
+				}
+				if after != before[key] {
+					t.Fatalf("n=%d remove %s: key %q moved %s -> %s though its owner survived",
+						n, shards[victim], key, before[key], after)
+				}
+			}
+			// The victim's keys must not all land on one survivor: each
+			// orphan independently rendezvous-hashes to its next-ranked
+			// shard. With >=100 orphans and n-1 survivors, one survivor
+			// absorbing everything would be a broken picker.
+			if remapped >= 100 && n > 2 && len(landed) < 2 {
+				t.Errorf("n=%d remove %s: all %d orphaned keys landed on one survivor %v",
+					n, shards[victim], remapped, landed)
+			}
+
+			// Re-adding the shard restores the original assignment
+			// exactly (same pure function of the same pairs).
+			for _, key := range keys {
+				if got := Owner(key, shards); got != before[key] {
+					t.Fatalf("n=%d re-add %s: key %q owner %s != original %s",
+						n, shards[victim], key, got, before[key])
+				}
+			}
+		}
+	}
+}
+
+// TestRankSibling: the retry target (rank 1) is never the owner.
+func TestRankSibling(t *testing.T) {
+	shards := shardNames(4)
+	for _, key := range pickerKeys(t) {
+		r := Rank(key, shards)
+		if r[0] == r[1] {
+			t.Fatalf("Rank(%q) repeats %s at ranks 0 and 1", key, r[0])
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request durations the router's
+// latency quantiles are computed over (matching the service's own
+// window semantics).
+const latencyWindow = 4096
+
+// metrics accumulates the router's own counters: client-facing
+// request totals and failures, retries launched, batch fan-outs,
+// stream aborts, and a sliding window of front-end request latencies
+// (the fan-out latency: accept to last byte handed to the client).
+type metrics struct {
+	mu           sync.Mutex
+	requests     uint64
+	errors       uint64 // client-visible failures the router originated (typed 502s, stream aborts)
+	retries      uint64 // sibling retry attempts launched
+	batches      uint64 // scatter-gathered /v1/batch requests
+	batchFanouts uint64 // sub-batches dispatched across all batches
+	streamAborts uint64 // streams terminated with an in-band router error record
+	latSum       time.Duration
+	lat          []time.Duration
+	latNext      int
+}
+
+// observeRequest records one completed client request and whether the
+// router had to originate a failure for it.
+func (m *metrics) observeRequest(d time.Duration, failed bool) {
+	m.mu.Lock()
+	m.requests++
+	if failed {
+		m.errors++
+	}
+	m.latSum += d
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, d)
+	} else {
+		m.lat[m.latNext] = d
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+	m.mu.Unlock()
+}
+
+// observeRetryLaunched counts one sibling retry attempt.
+func (m *metrics) observeRetryLaunched() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// observeBatch records one scatter-gathered batch and its fan-out
+// width, plus the request itself.
+func (m *metrics) observeBatch(d time.Duration, fanout int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchFanouts += uint64(fanout)
+	m.latSum += d
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, d)
+	} else {
+		m.lat[m.latNext] = d
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+	m.requests++
+	m.mu.Unlock()
+}
+
+// observeStreamAbort counts one stream terminated by an in-band
+// router error record (and as a client-visible failure).
+func (m *metrics) observeStreamAbort() {
+	m.mu.Lock()
+	m.streamAborts++
+	m.errors++
+	m.mu.Unlock()
+}
+
+// ShardStats is one worker's slice of the router's counters.
+type ShardStats struct {
+	// Name is the shard's rendezvous identity and X-Shard label; URL
+	// its base URL.
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Healthy is the shard's current membership state.
+	Healthy bool `json:"healthy"`
+	// Requests/Errors count proxied attempts sent to the shard and
+	// the ones that failed at the transport level; Retries counts
+	// sibling retries this shard's failures caused; Transitions
+	// counts health flips in either direction.
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	Retries     uint64 `json:"retries"`
+	Transitions uint64 `json:"healthTransitions"`
+}
+
+// Stats is a point-in-time snapshot of the router's counters.
+type Stats struct {
+	// Requests counts client requests on proxied routes (batches
+	// included); Errors the subset that ended in a router-originated
+	// failure (typed 502 or in-band stream abort); Retries the
+	// sibling retry attempts launched.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Retries  uint64 `json:"retries"`
+	// Batches counts scatter-gathered /v1/batch requests;
+	// BatchFanouts the sub-batches they dispatched.
+	Batches      uint64 `json:"batches"`
+	BatchFanouts uint64 `json:"batchFanouts"`
+	// StreamAborts counts streams terminated with an in-band router
+	// error record.
+	StreamAborts uint64 `json:"streamAborts"`
+	// HealthyShards is the current membership count; Shards the
+	// per-worker breakdown, sorted by name.
+	HealthyShards int          `json:"healthyShards"`
+	Shards        []ShardStats `json:"shards"`
+	// P50/P99 are nearest-rank quantiles of front-end request latency
+	// over a sliding window; LatencySum is cumulative across all
+	// requests.
+	P50        time.Duration `json:"p50Nanos"`
+	P99        time.Duration `json:"p99Nanos"`
+	LatencySum time.Duration `json:"latencySumNanos"`
+}
+
+// nearestRank mirrors the service's quantile definition
+// (ceil(q*n)-1, clamped).
+func nearestRank(q float64, n int) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() Stats {
+	rt.stats.mu.Lock()
+	lat := make([]time.Duration, len(rt.stats.lat))
+	copy(lat, rt.stats.lat)
+	st := Stats{
+		Requests:     rt.stats.requests,
+		Errors:       rt.stats.errors,
+		Retries:      rt.stats.retries,
+		Batches:      rt.stats.batches,
+		BatchFanouts: rt.stats.batchFanouts,
+		StreamAborts: rt.stats.streamAborts,
+		LatencySum:   rt.stats.latSum,
+	}
+	rt.stats.mu.Unlock()
+
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		ss := ShardStats{
+			Name: s.name, URL: s.base, Healthy: s.healthy,
+			Requests: s.requests, Errors: s.errors, Retries: s.retries,
+			Transitions: s.transitions,
+		}
+		s.mu.Unlock()
+		if ss.Healthy {
+			st.HealthyShards++
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Name < st.Shards[j].Name })
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.P50 = lat[nearestRank(0.50, len(lat))]
+		st.P99 = lat[nearestRank(0.99, len(lat))]
+	}
+	return st
+}
+
+// writeStatsJSON renders a Stats snapshot as indented JSON (the
+// /v1/stats wire form, matching the workers' own convention).
+func writeStatsJSON(w http.ResponseWriter, st Stats) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+// promText renders the router's counters in the Prometheus text
+// exposition format, version 0.0.4, under the eblocksrouter_ prefix;
+// shards are labels so dashboards sum or split without schema
+// changes.
+func promText(st Stats) string {
+	var b strings.Builder
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	sample := func(name, labels string, v interface{}) {
+		if labels != "" {
+			fmt.Fprintf(&b, "%s{%s} %v\n", name, labels, v)
+		} else {
+			fmt.Fprintf(&b, "%s %v\n", name, v)
+		}
+	}
+
+	counter("eblocksrouter_requests_total", "Client requests on proxied routes (batches included).")
+	sample("eblocksrouter_requests_total", "", st.Requests)
+	counter("eblocksrouter_request_errors_total", "Client requests that ended in a router-originated failure (typed 502 or in-band stream abort).")
+	sample("eblocksrouter_request_errors_total", "", st.Errors)
+	counter("eblocksrouter_retries_total", "Sibling retry attempts launched after a shard transport failure.")
+	sample("eblocksrouter_retries_total", "", st.Retries)
+	counter("eblocksrouter_batches_total", "Scatter-gathered /v1/batch requests.")
+	sample("eblocksrouter_batches_total", "", st.Batches)
+	counter("eblocksrouter_batch_fanouts_total", "Sub-batches dispatched across all scatter-gathered batches.")
+	sample("eblocksrouter_batch_fanouts_total", "", st.BatchFanouts)
+	counter("eblocksrouter_stream_aborts_total", "Streams terminated with an in-band router error record.")
+	sample("eblocksrouter_stream_aborts_total", "", st.StreamAborts)
+	gauge("eblocksrouter_healthy_shards", "Shards currently in rotation.")
+	sample("eblocksrouter_healthy_shards", "", st.HealthyShards)
+
+	counter("eblocksrouter_shard_requests_total", "Proxied attempts sent to each shard.")
+	for _, s := range st.Shards {
+		sample("eblocksrouter_shard_requests_total", fmt.Sprintf("shard=%q", s.Name), s.Requests)
+	}
+	counter("eblocksrouter_shard_errors_total", "Proxied attempts that failed at the transport level, by shard.")
+	for _, s := range st.Shards {
+		sample("eblocksrouter_shard_errors_total", fmt.Sprintf("shard=%q", s.Name), s.Errors)
+	}
+	counter("eblocksrouter_shard_retries_total", "Sibling retries caused by each shard's failures.")
+	for _, s := range st.Shards {
+		sample("eblocksrouter_shard_retries_total", fmt.Sprintf("shard=%q", s.Name), s.Retries)
+	}
+	counter("eblocksrouter_shard_health_transitions_total", "Health state flips (either direction), by shard.")
+	for _, s := range st.Shards {
+		sample("eblocksrouter_shard_health_transitions_total", fmt.Sprintf("shard=%q", s.Name), s.Transitions)
+	}
+	gauge("eblocksrouter_shard_healthy", "Current membership state of each shard (1 = in rotation).")
+	for _, s := range st.Shards {
+		v := 0
+		if s.Healthy {
+			v = 1
+		}
+		sample("eblocksrouter_shard_healthy", fmt.Sprintf("shard=%q", s.Name), v)
+	}
+
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n",
+		"eblocksrouter_request_latency_seconds",
+		"Front-end request latency: quantiles over a sliding window of recent requests, sum/count over all requests.",
+		"eblocksrouter_request_latency_seconds")
+	sample("eblocksrouter_request_latency_seconds", `quantile="0.5"`, st.P50.Seconds())
+	sample("eblocksrouter_request_latency_seconds", `quantile="0.99"`, st.P99.Seconds())
+	sample("eblocksrouter_request_latency_seconds_sum", "", st.LatencySum.Seconds())
+	sample("eblocksrouter_request_latency_seconds_count", "", st.Requests)
+	return b.String()
+}
+
+// handleMetrics serves GET /metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeRouterError(w, http.StatusMethodNotAllowed, routerError{Error: "use GET"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
+	fmt.Fprint(w, promText(rt.Stats()))
+}

@@ -11,9 +11,11 @@ import (
 	"repro/internal/store"
 )
 
-// maxRequestBody bounds request payloads (a 465-inner-block design
+// MaxRequestBody bounds request payloads (a 465-inner-block design
 // serializes to well under 1 MB; 16 MB leaves generous headroom).
-const maxRequestBody = 16 << 20
+// Exported so front ends that canonicalize request bodies before
+// forwarding them (the fleet router) enforce the same cap.
+const MaxRequestBody = 16 << 20
 
 // JSONRequest is the wire form of a synthesis/partition request. The
 // design is given either in the netlist JSON wire form ("design") or
@@ -199,7 +201,7 @@ func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(v); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody)).Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return false
 	}
