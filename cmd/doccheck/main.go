@@ -1,16 +1,18 @@
-// Command doccheck is the repository's docs-freshness gate: it fails
-// when a package lacks a package comment or an exported symbol lacks a
-// doc comment, so godoc coverage cannot silently rot as the codebase
-// grows. CI runs it over every non-test Go file.
+// Command doccheck is the repository's docs-freshness gate, kept as a
+// thin compatibility wrapper: the actual rules now live in the
+// exporteddoc analyzer of internal/analysis, which cmd/eblocksvet
+// runs as part of the full suite (one CI analysis step instead of
+// two). Invoking doccheck runs only that analyzer.
 //
 // Usage:
 //
-//	doccheck [dir ...]   (default: the module rooted at the current directory)
+//	doccheck [packages ...]   (default: ./..., the whole module)
 //
-// Rules enforced, per package:
+// Arguments are go package patterns; bare directory names are
+// accepted and treated as ./dir. Rules enforced, per package:
 //
 //   - The package has a package comment (on any file; doc.go by
-//     convention).
+//     convention). Main packages are exempt.
 //   - Every exported type, function, method, constant and variable
 //     declaration has a doc comment. A comment on a grouped
 //     declaration ("const ( ... )" / "var ( ... )") covers the group;
@@ -19,194 +21,37 @@
 //   - Methods count when the receiver's type name is exported.
 //
 // Exit status is 1 when any symbol is undocumented, with one
-// "file:line: symbol" diagnostic per finding.
+// "file:line: message" diagnostic per finding.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
 )
 
 func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"."}
-	}
-	var dirs []string
-	seen := map[string]bool{}
-	for _, root := range roots {
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				name := d.Name()
-				if name == "testdata" || (len(name) > 1 && name[0] == '.') {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-				dir := filepath.Dir(path)
-				if !seen[dir] {
-					seen[dir] = true
-					dirs = append(dirs, dir)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
-			os.Exit(2)
+	patterns := make([]string, 0, len(os.Args)-1)
+	for _, arg := range os.Args[1:] {
+		// Historical invocations passed bare directories; go list
+		// wants ./-prefixed relative patterns.
+		if !strings.HasPrefix(arg, ".") && !strings.Contains(arg, "...") {
+			arg = "./" + arg
 		}
+		patterns = append(patterns, arg)
 	}
-	sort.Strings(dirs)
-
-	failed := false
-	for _, dir := range dirs {
-		for _, problem := range checkDir(dir) {
-			failed = true
-			fmt.Println(problem)
-		}
+	diags, err := driver.Run(driver.Options{Patterns: patterns}, []*analysis.Analyzer{analysis.ExportedDoc})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
 	}
-	if failed {
+	for _, d := range diags {
+		fmt.Printf("%s:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
-}
-
-// checkDir parses one directory's non-test Go files and returns one
-// diagnostic per undocumented exported symbol.
-func checkDir(dir string) []string {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return []string{fmt.Sprintf("%s: %v", dir, err)}
-	}
-
-	var problems []string
-	for _, pkg := range pkgs {
-		if strings.HasSuffix(pkg.Name, "_test") {
-			continue
-		}
-		hasPkgDoc := false
-		for _, f := range pkg.Files {
-			if f.Doc != nil {
-				hasPkgDoc = true
-			}
-		}
-		if !hasPkgDoc && pkg.Name != "main" {
-			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
-		}
-		// Deterministic file order.
-		files := make([]string, 0, len(pkg.Files))
-		for name := range pkg.Files {
-			files = append(files, name)
-		}
-		sort.Strings(files)
-		for _, name := range files {
-			problems = append(problems, checkFile(fset, pkg.Files[name])...)
-		}
-	}
-	return problems
-}
-
-// checkFile reports undocumented exported declarations in one file.
-func checkFile(fset *token.FileSet, f *ast.File) []string {
-	var problems []string
-	report := func(pos token.Pos, what string) {
-		p := fset.Position(pos)
-		problems = append(problems, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
-	}
-
-	for _, decl := range f.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if !d.Name.IsExported() || !receiverExported(d) {
-				continue
-			}
-			if d.Doc == nil {
-				report(d.Pos(), "exported "+funcLabel(d))
-			}
-		case *ast.GenDecl:
-			switch d.Tok {
-			case token.TYPE:
-				for _, spec := range d.Specs {
-					ts := spec.(*ast.TypeSpec)
-					if !ts.Name.IsExported() {
-						continue
-					}
-					if d.Doc == nil && ts.Doc == nil {
-						report(ts.Pos(), "exported type "+ts.Name.Name)
-					}
-				}
-			case token.CONST, token.VAR:
-				// A doc comment on the group covers every spec.
-				if d.Doc != nil {
-					continue
-				}
-				for _, spec := range d.Specs {
-					vs := spec.(*ast.ValueSpec)
-					for _, n := range vs.Names {
-						if n.IsExported() && vs.Doc == nil && vs.Comment == nil {
-							report(n.Pos(), "exported "+strings.ToLower(d.Tok.String())+" "+n.Name)
-						}
-					}
-				}
-			}
-		}
-	}
-	return problems
-}
-
-// receiverExported reports whether a function is package-level or a
-// method on an exported type (methods on unexported types are not part
-// of the public godoc surface).
-func receiverExported(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	t := d.Recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr: // generic receiver
-			t = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return true
-		}
-	}
-}
-
-// funcLabel renders "function F" or "method (T).M" for diagnostics.
-func funcLabel(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return "function " + d.Name.Name
-	}
-	t := d.Recv.List[0].Type
-	recv := ""
-	for recv == "" {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr:
-			t = tt.X
-		case *ast.Ident:
-			recv = tt.Name
-		default:
-			recv = "?"
-		}
-	}
-	return "method (" + recv + ")." + d.Name.Name
 }

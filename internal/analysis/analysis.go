@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker: a name (used in
+// diagnostics and //eblocks:ignore directives), a one-paragraph doc
+// string, and a Run function applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in output and suppression
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the invariant the analyzer enforces, first line short.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	// Returning an error aborts the whole check (reserved for
+	// analyzer bugs, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset resolves token.Pos values for every file in the package.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info carries the type-checker's use/def/type maps for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: an analyzer, a resolved source
+// position, and a message.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos is the finding's resolved file position.
+	Pos token.Position
+	// Message states the violated invariant and, where mechanical,
+	// the fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message [analyzer] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Package is the unit drivers hand to Check: parsed syntax plus
+// type information for one package.
+type Package struct {
+	// Path is the package's import path (cfg.ImportPath / go list).
+	Path string
+	// Fset, Files, Types, Info mirror the Pass fields.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Check runs every analyzer over pkg, applies //eblocks:ignore
+// suppressions, and returns the surviving findings sorted by
+// position. Malformed directives are themselves reported.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+
+	var diags []Diagnostic
+	diags = append(diags, dirs.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dirs.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}

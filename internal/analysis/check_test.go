@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// tinyPackage type-checks a dependency-free source string into a
+// Package for driver-less unit tests.
+func tinyPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := new(types.Config).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// TestCheckAnalyzerError: a Run error aborts the whole check and
+// names the analyzer and package.
+func TestCheckAnalyzerError(t *testing.T) {
+	pkg := tinyPackage(t, "package x\n")
+	boom := &Analyzer{Name: "boom", Doc: "always fails", Run: func(*Pass) error { return errors.New("internal bug") }}
+	_, err := Check(pkg, []*Analyzer{boom})
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "x") {
+		t.Fatalf("Check error = %v; want it to name the analyzer and package", err)
+	}
+}
+
+// TestCheckSortsFindings: diagnostics come back ordered by position
+// regardless of analyzer emission order.
+func TestCheckSortsFindings(t *testing.T) {
+	pkg := tinyPackage(t, "package x\n\nvar a int\n\nvar b int\n")
+	backwards := &Analyzer{Name: "rev", Doc: "reports decls in reverse", Run: func(p *Pass) error {
+		decls := p.Files[0].Decls
+		for i := len(decls) - 1; i >= 0; i-- {
+			p.Reportf(decls[i].Pos(), "decl %d", i)
+		}
+		return nil
+	}}
+	diags, err := Check(pkg, []*Analyzer{backwards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by position: %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "lockheld",
+		Pos:      token.Position{Filename: "pkg/file.go", Line: 12, Column: 3},
+		Message:  "something blocked",
+	}
+	if got, want := d.String(), "pkg/file.go:12:3: something blocked [lockheld]"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context propagation along blocking paths: code
+// that already has a context.Context must thread it (not mint a fresh
+// context.Background/TODO, not build requests without it, not sleep
+// uncancellably), functions must not take a context they ignore, and
+// the context-less stdlib conveniences (http.Get, net.Dial) that
+// bake in context.Background are banned outright.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "blocking paths must thread context.Context: no context.Background/TODO, " +
+		"context-less requests, or bare time.Sleep where a ctx is in scope; no " +
+		"ignored ctx parameters; no http.Get/net.Dial conveniences",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var sig *types.Signature
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+			ctxv := ctxParam(sig)
+			checkUnusedCtx(pass, fd.Type, fd.Body)
+			walkCtxFlow(pass, fd.Body, ctxv != nil)
+		}
+	}
+	return nil
+}
+
+// walkCtxFlow scans a function body with the knowledge of whether a
+// context.Context is lexically available (own parameter or captured
+// from an enclosing function); function literals recurse with the
+// flag extended by their own parameters.
+func walkCtxFlow(pass *Pass, body ast.Node, ctxAvail bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxAvail
+			if sig, ok := pass.Info.TypeOf(n).(*types.Signature); ok && ctxParam(sig) != nil {
+				inner = true
+			}
+			checkUnusedCtx(pass, n.Type, n.Body)
+			walkCtxFlow(pass, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			checkCtxCall(pass, n, ctxAvail)
+		}
+		return true
+	})
+}
+
+// checkCtxCall classifies one call against the ctxflow rules.
+func checkCtxCall(pass *Pass, call *ast.CallExpr, ctxAvail bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	pkg, name := funcPkgPath(fn), fn.Name()
+
+	switch {
+	case pkg == "context" && (name == "Background" || name == "TODO") && !isMethod:
+		if ctxAvail {
+			pass.Reportf(call.Pos(), "context.%s() in a function that already has a context.Context: thread the caller's ctx instead", name)
+		}
+	case pkg == "net/http" && name == "NewRequest" && !isMethod:
+		if ctxAvail {
+			pass.Reportf(call.Pos(), "http.NewRequest in a function with a context.Context in scope: use http.NewRequestWithContext so the request dies with the caller")
+		}
+	case pkg == "time" && name == "Sleep" && !isMethod:
+		if ctxAvail {
+			pass.Reportf(call.Pos(), "time.Sleep in a function with a context.Context in scope: select on ctx.Done() and a timer so the wait is cancellable")
+		}
+	case pkg == "net/http" && !isMethod && (name == "Get" || name == "Head" || name == "Post" || name == "PostForm"):
+		pass.Reportf(call.Pos(), "http.%s bakes in context.Background: build the request with http.NewRequestWithContext and use a client", name)
+	case pkg == "net" && !isMethod && strings.HasPrefix(name, "Dial"):
+		pass.Reportf(call.Pos(), "net.%s cannot be cancelled: use net.Dialer.DialContext", name)
+	}
+}
+
+// checkUnusedCtx reports context.Context parameters that are bound to
+// a name but never used — either thread the context or rename the
+// parameter to _ to document that ignoring it is deliberate.
+func checkUnusedCtx(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft.Params == nil || body == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, nameID := range field.Names {
+			if nameID.Name == "_" {
+				continue
+			}
+			obj, ok := pass.Info.Defs[nameID].(*types.Var)
+			if !ok || !isContextType(obj.Type()) {
+				continue
+			}
+			used := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(nameID.Pos(), "context.Context parameter %s is never used: forward it to blocking calls or rename it to _ to mark the drop deliberate", nameID.Name)
+			}
+		}
+	}
+}

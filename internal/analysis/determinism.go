@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces byte-determinism in pure pipeline packages:
+// stage artifacts, fingerprints and wire forms must be pure functions
+// of their inputs, so the packages that produce them may not consult
+// wall clocks, global randomness, or the environment, and may not
+// leak Go's randomized map iteration order into hashers, encoders,
+// order-sensitive writers, or unsorted slices.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "pure pipeline packages must be byte-deterministic: no time.Now/global " +
+		"math/rand/os.Getenv, and no map iteration feeding a hasher, encoder, " +
+		"order-sensitive writer, or unsorted slice",
+	Run: runDeterminism,
+}
+
+// purePackages are the packages whose outputs are cache keys or store
+// artifacts; the determinism analyzer runs on every file in them.
+// Other files opt in with a //eblocks:pure comment.
+var purePackages = map[string]bool{
+	"repro/internal/behavior": true,
+	"repro/internal/codegen":  true,
+	"repro/internal/core":     true,
+	"repro/internal/graph":    true,
+	"repro/internal/netlist":  true,
+	"repro/internal/randgen":  true,
+	"repro/internal/synth":    true,
+}
+
+// randConstructors are the package-level math/rand functions that
+// build seeded, locally-owned generators; everything else at package
+// level draws from the global source and is forbidden in pure code.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	pkgPure := purePackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if !pkgPure && !filePure(f) {
+			continue
+		}
+		checkImpureCalls(pass, f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapOrderLeaks(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkImpureCalls reports calls that make output depend on the
+// clock, the process environment, or the global random source.
+func checkImpureCalls(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return true // methods (e.g. on a seeded *rand.Rand) are fine
+		}
+		switch pkg, name := funcPkgPath(fn), fn.Name(); {
+		case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+			pass.Reportf(call.Pos(), "pure package calls time.%s: stage artifacts may not depend on the clock", name)
+		case pkg == "os" && (name == "Getenv" || name == "LookupEnv" || name == "Environ"):
+			pass.Reportf(call.Pos(), "pure package calls os.%s: stage artifacts may not depend on the environment", name)
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+			pass.Reportf(call.Pos(), "pure package calls global rand.%s: use a seeded rand.New(rand.NewSource(seed)) owned by the caller", name)
+		}
+		return true
+	})
+}
+
+// checkMapOrderLeaks flags range-over-map loops whose bodies feed an
+// order-sensitive sink: a hasher, an encoder, a writer accumulated
+// across iterations, or an outer slice that is never sorted
+// afterwards.
+func checkMapOrderLeaks(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !bindsIterationVars(rng) {
+			return true // `for range m` — order cannot be observed
+		}
+		checkMapLoopBody(pass, fd, rng)
+		return true
+	})
+}
+
+// bindsIterationVars reports whether the range statement binds a
+// non-blank key or value (the only way iteration order can leak).
+func bindsIterationVars(rng *ast.RangeStmt) bool {
+	isBound := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		id, ok := e.(*ast.Ident)
+		return !ok || id.Name != "_"
+	}
+	return isBound(rng.Key) || isBound(rng.Value)
+}
+
+// checkMapLoopBody scans one map-range body for order-sensitive
+// sinks, then checks deferred-sort exceptions for slice appends.
+func checkMapLoopBody(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	type appendSink struct {
+		pos    ast.Node
+		target types.Object
+		label  string
+	}
+	var appends []appendSink
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// append(outer, ...) — the one sink with a sanctioned escape
+		// hatch: sorting the slice after the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+			if len(call.Args) > 0 {
+				if obj := rootObject(pass.Info, call.Args[0]); obj != nil && !declaredWithin(obj, rng) {
+					appends = append(appends, appendSink{pos: call, target: obj, label: exprString(call.Args[0])})
+				}
+			}
+			return true
+		}
+
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		pkg, name := funcPkgPath(fn), fn.Name()
+
+		// Direct hasher methods: h.Write / h.Sum inside the loop.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv := pass.Info.TypeOf(sel.X)
+			if recv != nil && isHasherType(recv) && (name == "Write" || name == "Sum" || name == "WriteString") {
+				pass.Reportf(call.Pos(), "map iteration order feeds hasher %s.%s: sort the keys first", exprString(sel.X), name)
+				return true
+			}
+			// Order-sensitive accumulating writers declared outside
+			// the loop (bytes.Buffer, strings.Builder).
+			if isAccumWriter(recv) && strings.HasPrefix(name, "Write") {
+				if obj := rootObject(pass.Info, sel.X); obj != nil && !declaredWithin(obj, rng) {
+					pass.Reportf(call.Pos(), "map iteration order is written into %s: sort the keys first", exprString(sel.X))
+					return true
+				}
+			}
+		}
+
+		// fmt.Fprint*/io.WriteString into a hasher or outer writer.
+		if (pkg == "fmt" && strings.HasPrefix(name, "Fprint")) || (pkg == "io" && name == "WriteString") {
+			if len(call.Args) > 0 {
+				wt := pass.Info.TypeOf(call.Args[0])
+				obj := rootObject(pass.Info, call.Args[0])
+				outer := obj != nil && !declaredWithin(obj, rng)
+				switch {
+				case wt != nil && isHasherType(wt):
+					pass.Reportf(call.Pos(), "map iteration order feeds hasher %s via %s.%s: sort the keys first", exprString(call.Args[0]), pkg, name)
+				case outer && (isAccumWriter(wt) || isWriterInterface(wt)):
+					pass.Reportf(call.Pos(), "map iteration order is written into %s via %s.%s: sort the keys first", exprString(call.Args[0]), pkg, name)
+				}
+			}
+			return true
+		}
+
+		// Encoders are order-sensitive byte producers.
+		if (pkg == "encoding/json" && (name == "Encode" || name == "Marshal" || name == "MarshalIndent")) ||
+			(pkg == "encoding/gob" && name == "Encode") ||
+			(pkg == "encoding/binary" && name == "Write") {
+			pass.Reportf(call.Pos(), "map iteration order reaches %s.%s: encode after sorting, outside the loop", pkg, name)
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if !sortedAfter(pass, fd, rng, a.target) {
+			pass.Reportf(a.pos.Pos(), "map iteration appends to %s which is never sorted after the loop: sort it (or the keys) before it becomes an artifact", a.label)
+		}
+	}
+}
+
+// isAccumWriter reports whether t is a bytes.Buffer or
+// strings.Builder (pointer or value).
+func isAccumWriter(t types.Type) bool {
+	return namedTypeIs(t, "bytes", "Buffer") || namedTypeIs(t, "strings", "Builder")
+}
+
+// isWriterInterface reports whether t is the io.Writer interface.
+func isWriterInterface(t types.Type) bool {
+	return namedTypeIs(t, "io", "Writer")
+}
+
+// rootObject resolves the variable at the root of an expression like
+// x, x.f, x[i], *x, returning nil for anything else.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			// Selector sinks (s.buf) belong to an enclosing struct and
+			// are by definition declared outside the loop; attribute
+			// them to the field object.
+			if obj := info.Uses[v.Sel]; obj != nil {
+				return obj
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's
+// source extent.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether any sort/slices call mentioning target
+// appears after the loop within the enclosing function — the
+// canonical collect-then-sort idiom.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if pkg := funcPkgPath(fn); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.Uses[id] == target {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

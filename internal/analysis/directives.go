@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //eblocks:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+}
+
+// directives indexes a package's suppression comments by file and
+// line. An ignore on line N suppresses findings on lines N and N+1 of
+// the same file, so it works both as a trailing comment and as a
+// standalone line above the finding.
+type directives struct {
+	ignores   map[string]map[int][]ignoreDirective // file -> line -> directives
+	malformed []Diagnostic
+}
+
+// ignorePrefix introduces a suppression; the rest of the line is
+// "<analyzer> <reason>" with a mandatory non-empty reason.
+const ignorePrefix = "//eblocks:ignore"
+
+// parseDirectives scans every comment in files for //eblocks:ignore
+// directives, recording malformed ones (missing analyzer or reason)
+// as findings attributed to the pseudo-analyzer "directive".
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{ignores: map[string]map[int][]ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //eblocks:ignorexyz — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					d.malformed = append(d.malformed, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed //eblocks:ignore: want \"//eblocks:ignore <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				byLine := d.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]ignoreDirective{}
+					d.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return d
+}
+
+// suppressed reports whether diag is covered by an ignore directive
+// on its own line or the line directly above it.
+func (d *directives) suppressed(diag Diagnostic) bool {
+	byLine := d.ignores[diag.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{diag.Pos.Line, diag.Pos.Line - 1} {
+		for _, ig := range byLine[line] {
+			if ig.analyzer == "all" || ig.analyzer == diag.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pureDirective marks a file as a pure, deterministic artifact
+// producer (see the determinism analyzer).
+const pureDirective = "//eblocks:pure"
+
+// filePure reports whether f carries the //eblocks:pure directive.
+func filePure(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == pureDirective {
+				return true
+			}
+		}
+	}
+	return false
+}

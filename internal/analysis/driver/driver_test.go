@@ -1,0 +1,167 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// scratchBad is a throwaway module carrying one deliberate violation
+// per analyzer; the driver tests assert the whole suite fires on it.
+const scratchBad = `// Package scratch hosts deliberately injected violations, one per
+// analyzer in the suite.
+//
+//eblocks:pure
+package scratch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// Wire carries a stale schema hash.
+//
+//eblocks:wire scratch.v1 00000000
+type Wire struct {
+	V int ` + "`json:\"v\"`" + `
+}
+
+func Clock() int64 {
+	return time.Now().Unix()
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Drop mints a fresh context despite having one.
+func Drop(ctx context.Context) error {
+	_ = ctx.Err()
+	return work(context.Background())
+}
+
+// Remove does I/O inside the critical section.
+func Remove(path string) {
+	mu.Lock()
+	defer mu.Unlock()
+	os.Remove(path)
+}
+
+// Metric emits a malformed series name.
+func Metric(w *strings.Builder) {
+	fmt.Fprintf(w, "%s 1\n", "eblocksd_Bad_total")
+}
+`
+
+// scratchClean is a violation-free module: the suite must stay silent.
+const scratchClean = `// Package clean is violation-free.
+package clean
+
+// Answer is a documented constant.
+const Answer = 42
+`
+
+// writeModule materializes a single-package module in a temp dir.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"go.mod":  "module scratch\n\ngo 1.22\n",
+		"main.go": src,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunFindsInjectedViolations checks that a module with one
+// deliberate violation per analyzer produces at least one finding
+// from each of the six.
+func TestRunFindsInjectedViolations(t *testing.T) {
+	dir := writeModule(t, scratchBad)
+	diags, err := driver.Run(driver.Options{Dir: dir}, analysis.All())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range analysis.All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s produced no finding on the injected-violation module; got:\n%s", a.Name, renderDiags(diags))
+		}
+	}
+}
+
+// TestRunCleanModule checks the suite stays silent on clean code.
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, scratchClean)
+	diags, err := driver.Run(driver.Options{Dir: dir}, analysis.All())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean module produced findings:\n%s", renderDiags(diags))
+	}
+}
+
+// TestVetTool drives the full go vet -vettool integration: build
+// cmd/eblocksvet, point go vet at it inside the injected-violation
+// module, and check cmd/go relays the suite's findings and exit
+// status.
+func TestVetTool(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+
+	bin := filepath.Join(t.TempDir(), "eblocksvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/eblocksvet")
+	build.Dir = root
+	if bout, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building eblocksvet: %v\n%s", err, bout)
+	}
+
+	dir := writeModule(t, scratchBad)
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	vout, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on the injected-violation module; output:\n%s", vout)
+	}
+	for _, marker := range []string{"[lockheld]", "[wireversion]", "[ctxflow]", "[determinism]", "[metricname]", "[exporteddoc]"} {
+		if !strings.Contains(string(vout), marker) {
+			t.Errorf("go vet output is missing a %s finding:\n%s", marker, vout)
+		}
+	}
+
+	clean := writeModule(t, scratchClean)
+	vet = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = clean
+	if vout, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on the clean module: %v\n%s", err, vout)
+	}
+}
+
+// renderDiags formats findings for failure messages.
+func renderDiags(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// VetConfig is the JSON configuration cmd/go writes for a vet tool
+// (the unitchecker protocol): one package's files plus the locations
+// of every dependency's export data. Field names and semantics follow
+// cmd/go/internal/work's vetConfig.
+type VetConfig struct {
+	// ID and ImportPath identify the package; Dir is its directory.
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	// GoFiles are the package's compiled Go sources (absolute).
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	// ImportMap resolves source-level import paths to canonical
+	// package paths; PackageFile locates export data by canonical
+	// path.
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	// PackageVetx/VetxOnly/VetxOutput carry the facts protocol; this
+	// suite computes no cross-package facts but must still write the
+	// output file for cmd/go's cache.
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool executes one unitchecker invocation: read the cfg file,
+// type-check the package it describes, run the analyzers, print
+// findings to w in file:line:col form, and write the (empty) facts
+// output. The returned count is the number of findings.
+func RunVetTool(cfgPath string, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// cmd/go caches on the facts file; write it even when there is
+	// nothing to say, and before any early return below.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+	if cfg.VetxOnly {
+		return 0, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 0, err
+	}
+	diags, err := analysis.Check(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), writeVetx()
+}
+
+// VersionString renders the `-V=full` line cmd/go uses to fingerprint
+// a vet tool for caching: the program name plus a content hash of its
+// own executable.
+func VersionString(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel buildID=%x", progname, h.Sum(nil)[:12])
+}

@@ -1,0 +1,225 @@
+package driver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// writeVetCfg materializes one Go file plus a unitchecker cfg
+// describing it as a dependency-free package, returning the cfg path
+// and the VetxOutput path.
+func writeVetCfg(t *testing.T, src string) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "out.vetx")
+	cfg := driver.VetConfig{
+		ID:         "scratch",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "scratch",
+		GoVersion:  "go1.22",
+		GoFiles:    []string{goFile},
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+const undocumentedSrc = "package scratch\n\nfunc Exported() {}\n"
+
+const documentedSrc = "// Package scratch is documented.\npackage scratch\n\n// Exported is documented.\nfunc Exported() {}\n"
+
+func TestRunVetToolReportsFindings(t *testing.T) {
+	cfgPath, vetxPath := writeVetCfg(t, undocumentedSrc)
+	var out bytes.Buffer
+	n, err := driver.RunVetTool(cfgPath, []*analysis.Analyzer{analysis.ExportedDoc}, &out)
+	if err != nil {
+		t.Fatalf("RunVetTool: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("RunVetTool reported %d findings, want 2 (package comment + func doc):\n%s", n, out.String())
+	}
+	for _, frag := range []string{"package scratch has no package comment", "exported function Exported has no doc comment"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output is missing %q:\n%s", frag, out.String())
+		}
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts output was not written: %v", err)
+	}
+}
+
+func TestRunVetToolCleanPackage(t *testing.T) {
+	cfgPath, vetxPath := writeVetCfg(t, documentedSrc)
+	var out bytes.Buffer
+	n, err := driver.RunVetTool(cfgPath, analysis.All(), &out)
+	if err != nil || n != 0 {
+		t.Fatalf("RunVetTool on clean package: n=%d err=%v\n%s", n, err, out.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts output was not written: %v", err)
+	}
+}
+
+func TestRunVetToolVetxOnly(t *testing.T) {
+	cfgPath, vetxPath := writeVetCfg(t, undocumentedSrc)
+	// Flip VetxOnly in the cfg: facts-only invocations must write the
+	// output and skip the analysis entirely.
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg driver.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.VetxOnly = true
+	if data, err = json.Marshal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := driver.RunVetTool(cfgPath, analysis.All(), &out)
+	if err != nil || n != 0 || out.Len() != 0 {
+		t.Fatalf("VetxOnly run: n=%d err=%v output=%q", n, err, out.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts output was not written: %v", err)
+	}
+}
+
+func TestRunVetToolTypecheckFailure(t *testing.T) {
+	const broken = "package scratch\n\nfunc Exported() { return 3 }\n"
+
+	cfgPath, _ := writeVetCfg(t, broken)
+	var out bytes.Buffer
+	if _, err := driver.RunVetTool(cfgPath, analysis.All(), &out); err == nil {
+		t.Fatal("RunVetTool did not report the type error")
+	}
+
+	// With SucceedOnTypecheckFailure (cmd/go sets it when the compile
+	// step will report the error anyway) the tool must stay silent.
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg driver.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	if data, err = json.Marshal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := driver.RunVetTool(cfgPath, analysis.All(), &out)
+	if err != nil || n != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure run: n=%d err=%v", n, err)
+	}
+}
+
+func TestRunVetToolBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := driver.RunVetTool(bad, analysis.All(), &bytes.Buffer{}); err == nil {
+		t.Fatal("RunVetTool accepted a malformed config")
+	}
+	if _, err := driver.RunVetTool(filepath.Join(dir, "missing.cfg"), analysis.All(), &bytes.Buffer{}); err == nil {
+		t.Fatal("RunVetTool accepted a missing config file")
+	}
+}
+
+// TestRunVetToolResolvesImports drives the export-data lookup path:
+// the package imports fmt, whose export file location is supplied the
+// way cmd/go supplies it, via ImportMap + PackageFile.
+func TestRunVetToolResolvesImports(t *testing.T) {
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "fmt").Output()
+	if err != nil {
+		t.Fatalf("go list -export fmt: %v", err)
+	}
+	fmtExport := strings.TrimSpace(string(out))
+	if fmtExport == "" {
+		t.Fatal("go list returned no export data path for fmt")
+	}
+
+	const src = "// Package scratch is documented.\npackage scratch\n\nimport \"fmt\"\n\n// Hello is documented.\nfunc Hello() { fmt.Println(\"hi\") }\n"
+	cfgPath, _ := writeVetCfg(t, src)
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg driver.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ImportMap = map[string]string{"fmt": "fmt"}
+	cfg.PackageFile = map[string]string{"fmt": fmtExport}
+	cfg.VetxOutput = "" // also cover the no-facts-file branch
+	if data, err = json.Marshal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := driver.RunVetTool(cfgPath, analysis.All(), &buf)
+	if err != nil || n != 0 {
+		t.Fatalf("RunVetTool with imports: n=%d err=%v\n%s", n, err, buf.String())
+	}
+
+	// Without the export data the type check must fail loudly.
+	cfg.PackageFile = nil
+	if data, err = json.Marshal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := driver.RunVetTool(cfgPath, analysis.All(), &buf); err == nil {
+		t.Fatal("RunVetTool succeeded without export data for fmt")
+	}
+}
+
+// TestLoadBadPattern covers the loader's go list error path.
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeModule(t, scratchClean)
+	if _, err := driver.Load(driver.Options{Dir: dir, Patterns: []string{"./no/such/dir"}}); err == nil {
+		t.Fatal("Load accepted a nonexistent package pattern")
+	}
+	if _, err := driver.Run(driver.Options{Dir: dir, Patterns: []string{"./no/such/dir"}}, analysis.All()); err == nil {
+		t.Fatal("Run accepted a nonexistent package pattern")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := driver.VersionString("eblocksvet")
+	if !strings.HasPrefix(s, "eblocksvet version ") || !strings.Contains(s, "buildID=") {
+		t.Fatalf("unexpected version string %q", s)
+	}
+}

@@ -1,0 +1,189 @@
+package analysis_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// fixtureAnalyzers maps each fixture package (by its import path in
+// the testdata/src module) to the analyzers it exercises. Packages
+// absent from the map (support stubs like internal/flight) are
+// loaded for type information but not checked.
+var fixtureAnalyzers = map[string][]*analysis.Analyzer{
+	"repro/internal/core": {analysis.Determinism},
+	"repro/puredir":       {analysis.Determinism},
+	"repro/ctxflow":       {analysis.CtxFlow},
+	"repro/lockheld":      {analysis.LockHeld},
+	"repro/wireversion":   {analysis.WireVersion},
+	"repro/metricname":    {analysis.MetricName},
+	"repro/exporteddoc":   {analysis.ExportedDoc},
+	"repro/exporteddocok": {analysis.ExportedDoc},
+	"repro/ignores":       {analysis.LockHeld},
+}
+
+// want is one expectation parsed from a fixture comment: the finding
+// must land on line in file and its message must match re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantBody extracts the payload of a want comment, reporting whether
+// the comment is one and whether it is the want-above form (the
+// expectation applies to the nearest non-blank line above — gofmt
+// separates a floating comment from the declaration before it with a
+// blank line).
+func wantBody(text string) (body string, above, ok bool) {
+	switch {
+	case strings.HasPrefix(text, "// want-above "):
+		return strings.TrimPrefix(text, "// want-above "), true, true
+	case strings.HasPrefix(text, "// want "):
+		return strings.TrimPrefix(text, "// want "), false, true
+	}
+	return "", false, false
+}
+
+// backquoted pulls every `...` segment out of a want comment body.
+var backquoted = regexp.MustCompile("`([^`]*)`")
+
+// parseWants collects the // want expectations of one package.
+func parseWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	blank := map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, above, ok := wantBody(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if above {
+					if blank[pos.Filename] == nil {
+						blank[pos.Filename] = blankLines(t, pos.Filename)
+					}
+					for line--; line > 1 && blank[pos.Filename][line]; line-- {
+					}
+				}
+				ms := backquoted.FindAllStringSubmatch(body, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment with no backquoted pattern: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its fixture packages and
+// matches the findings against the // want expectations, in both
+// directions: every finding must be expected and every expectation
+// must fire.
+func TestFixtures(t *testing.T) {
+	pkgs, err := driver.Load(driver.Options{Dir: "testdata/src"})
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	for path, analyzers := range fixtureAnalyzers {
+		pkg, ok := byPath[path]
+		if !ok {
+			t.Errorf("fixture package %s not loaded (have %v)", path, paths(pkgs))
+			continue
+		}
+		t.Run(strings.TrimPrefix(path, "repro/"), func(t *testing.T) {
+			diags, err := analysis.Check(pkg, analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matched := make([]bool, len(diags))
+			for _, w := range wants(t, pkg) {
+				found := false
+				for i, d := range diags {
+					if !matched[i] && d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// blankLines indexes the whitespace-only lines of a fixture file.
+func blankLines(t *testing.T, filename string) map[int]bool {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int]bool{}
+	for i, l := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(l) == "" {
+			out[i+1] = true
+		}
+	}
+	return out
+}
+
+// wants parses expectations, failing the subtest on malformed ones.
+func wants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	return parseWants(t, pkg)
+}
+
+// paths renders loaded package paths for error messages.
+func paths(pkgs []*analysis.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// TestFixtureWantsPresent guards the harness itself: a fixture tree
+// with zero expectations would make the suite look green while
+// checking nothing.
+func TestFixtureWantsPresent(t *testing.T) {
+	pkgs, err := driver.Load(driver.Options{Dir: "testdata/src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		if _, ok := fixtureAnalyzers[pkg.Path]; !ok {
+			continue
+		}
+		total += len(parseWants(t, pkg))
+	}
+	if total < 20 {
+		t.Fatalf("only %d want expectations across fixtures; fixture coverage has rotted", total)
+	}
+}

@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld enforces lock discipline: no I/O, blocking channel
+// operation, blocking wait, or single-flight call while a sync.Mutex
+// or sync.RWMutex is held. Critical sections must compute and copy;
+// anything that can stall belongs outside them. The analysis is a
+// per-function lock-region scan: a region opens at mu.Lock()/RLock()
+// and closes at the matching Unlock on the same selector path (a
+// deferred unlock holds to the end of the function); conditional
+// unlocks in nested blocks are treated conservatively as still held.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "no I/O, channel operation, blocking wait, or single-flight call while a " +
+		"sync.Mutex/RWMutex is held",
+	Run: runLockHeld,
+}
+
+// flightPkgPath is the repo's single-flight package: calling into it
+// with a lock held is a deadlock risk (the flight winner may need the
+// same lock).
+const flightPkgPath = "repro/internal/flight"
+
+// osCallAllowed are the os functions that neither block nor touch the
+// filesystem; everything else in package os is treated as I/O.
+var osCallAllowed = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true, "ExpandEnv": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true, "Getgid": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+	"Exit": true, "Getwd": true, "UserHomeDir": true, "TempDir": true,
+}
+
+// blockingIOFuncs lists package-level io functions that can stall on
+// an underlying reader or writer.
+var blockingIOFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true,
+	"ReadAtLeast": true, "WriteString": true,
+}
+
+// heldLock is one lock currently held during the scan.
+type heldLock struct {
+	path     string // selector path of the receiver, e.g. "s.mu"
+	pos      token.Pos
+	deferred bool // released by defer: held to the end of the function
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanLockRegion(pass, fd.Body.List, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// lockCall classifies an expression as a sync.Mutex/RWMutex Lock,
+// RLock, Unlock or RUnlock call, returning the method name and the
+// receiver's selector path.
+func lockCall(pass *Pass, e ast.Expr) (method, path string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if !namedTypeIs(rt, "sync", "Mutex") && !namedTypeIs(rt, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return fn.Name(), exprString(sel.X), true
+}
+
+// scanLockRegion walks one statement list tracking held locks.
+// Mutations of the held set inside nested control flow are local to
+// that branch: after the branch, locks are conservatively considered
+// still held (an unlock on only one path does not end the region).
+func scanLockRegion(pass *Pass, stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, stmt := range stmts {
+		held = scanLockStmt(pass, stmt, held)
+	}
+	return held
+}
+
+// scanLockStmt processes one statement: lock-set bookkeeping first,
+// then violation checks when any lock is held, then recursion into
+// nested blocks.
+func scanLockStmt(pass *Pass, stmt ast.Stmt, held []heldLock) []heldLock {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if method, path, ok := lockCall(pass, s.X); ok {
+			switch method {
+			case "Lock", "RLock":
+				return append(held, heldLock{path: path, pos: s.Pos()})
+			case "Unlock", "RUnlock":
+				return releaseLock(held, path)
+			}
+		}
+		if len(held) > 0 {
+			checkBlockingExpr(pass, s.X, held)
+		}
+		return held
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() — or a deferred closure that unlocks —
+		// pins the lock as held for the remainder of the function.
+		if method, path, ok := lockCall(pass, s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			return markDeferred(held, path)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			for i := range held {
+				path := held[i].path
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if e, ok := n.(ast.Expr); ok {
+						if m, p, ok := lockCall(pass, e); ok && (m == "Unlock" || m == "RUnlock") && p == path {
+							held[i].deferred = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		// The deferred call itself runs at return time, when the lock
+		// may already be gone; it is not scanned as a violation.
+		return held
+
+	case *ast.BlockStmt:
+		scanLockRegion(pass, s.List, append([]heldLock(nil), held...))
+		return held
+
+	case *ast.IfStmt:
+		if len(held) > 0 {
+			if s.Init != nil {
+				checkBlockingStmt(pass, s.Init, held)
+			}
+			checkBlockingExpr(pass, s.Cond, held)
+		}
+		scanLockRegion(pass, s.Body.List, append([]heldLock(nil), held...))
+		if s.Else != nil {
+			scanLockStmt(pass, s.Else, append([]heldLock(nil), held...))
+		}
+		return held
+
+	case *ast.ForStmt:
+		if len(held) > 0 {
+			if s.Init != nil {
+				checkBlockingStmt(pass, s.Init, held)
+			}
+			if s.Cond != nil {
+				checkBlockingExpr(pass, s.Cond, held)
+			}
+			if s.Post != nil {
+				checkBlockingStmt(pass, s.Post, held)
+			}
+		}
+		scanLockRegion(pass, s.Body.List, append([]heldLock(nil), held...))
+		return held
+
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := pass.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					lk := held[len(held)-1]
+					pass.Reportf(s.Pos(), "range over a channel while %s is held (locked at line %d): a stalled sender stalls every other taker of the lock", lk.path, pass.Fset.Position(lk.pos).Line)
+				}
+			}
+			checkBlockingExpr(pass, s.X, held)
+		}
+		scanLockRegion(pass, s.Body.List, append([]heldLock(nil), held...))
+		return held
+
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				scanLockRegion(pass, cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+		return held
+
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				scanLockRegion(pass, cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+		return held
+
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lk := held[len(held)-1]
+			pass.Reportf(s.Pos(), "blocking select while %s is held (locked at line %d): add a default case or move the select outside the critical section", lk.path, pass.Fset.Position(lk.pos).Line)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				scanLockRegion(pass, cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+		return held
+
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently and does not extend
+		// this goroutine's critical section.
+		return held
+
+	case *ast.LabeledStmt:
+		return scanLockStmt(pass, s.Stmt, held)
+
+	default:
+		if len(held) > 0 {
+			checkBlockingStmt(pass, stmt, held)
+		}
+		return held
+	}
+}
+
+// releaseLock removes the most recent held lock with the given path
+// unless it was pinned by a deferred unlock.
+func releaseLock(held []heldLock, path string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].path == path && !held[i].deferred {
+			return append(append([]heldLock(nil), held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// markDeferred pins the most recent held lock with the given path as
+// released only at function exit.
+func markDeferred(held []heldLock, path string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].path == path {
+			held[i].deferred = true
+			break
+		}
+	}
+	return held
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlockingStmt inspects one non-control-flow statement for
+// blocking operations while locks are held.
+func checkBlockingStmt(pass *Pass, stmt ast.Stmt, held []heldLock) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		return inspectBlockingNode(pass, n, held)
+	})
+}
+
+// checkBlockingExpr inspects one expression for blocking operations
+// while locks are held.
+func checkBlockingExpr(pass *Pass, e ast.Expr, held []heldLock) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		return inspectBlockingNode(pass, n, held)
+	})
+}
+
+// inspectBlockingNode is the shared per-node classifier; it prunes
+// function literals (their bodies run later, possibly without the
+// lock).
+func inspectBlockingNode(pass *Pass, n ast.Node, held []heldLock) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.SendStmt:
+		reportHeld(pass, n.Pos(), held, "channel send")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			reportHeld(pass, n.Pos(), held, "channel receive")
+		}
+	case *ast.CallExpr:
+		if op := blockingCallLabel(pass, n); op != "" {
+			reportHeld(pass, n.Pos(), held, op)
+		}
+	}
+	return true
+}
+
+// blockingCallLabel classifies a call as blocking I/O (or a blocking
+// wait), returning a human label, or "" when the call is benign.
+func blockingCallLabel(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg, name := funcPkgPath(fn), fn.Name()
+	switch {
+	case pkg == "os" && !osCallAllowed[name]:
+		return "os." + name + " I/O"
+	case pkg == "net" || pkg == "net/http":
+		return pkg + " call " + name
+	case pkg == "os/exec":
+		return "subprocess call exec." + name
+	case pkg == "io" && blockingIOFuncs[name]:
+		return "io." + name
+	case pkg == "io/ioutil":
+		return "ioutil." + name + " I/O"
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep"
+	case pkg == "sync" && name == "Wait":
+		return "blocking sync wait " + name
+	case pkg == flightPkgPath:
+		return "single-flight call flight." + name
+	}
+	return ""
+}
+
+// reportHeld emits one lock-region violation naming the most recently
+// acquired lock.
+func reportHeld(pass *Pass, pos token.Pos, held []heldLock, op string) {
+	lk := held[len(held)-1]
+	pass.Reportf(pos, "%s while %s is held (locked at line %d): release the lock first — critical sections must not block",
+		op, lk.path, pass.Fset.Position(lk.pos).Line)
+}

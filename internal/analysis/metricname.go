@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the Prometheus naming contract of the repo's
+// hand-rolled /metrics exporters: every series name passed to the
+// counter/gauge/sample emission helpers is a compile-time constant in
+// snake_case under an approved binary prefix, and each series is
+// declared (HELP/TYPE) exactly once per exporter function. Any bare
+// string literal that starts with an approved prefix is held to the
+// same shape, so typo'd names in raw Fprintf lines are caught too.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "Prometheus series use constant snake_case eblocksd_/eblocksrouter_ names " +
+		"and are declared exactly once per exporter",
+	Run: runMetricName,
+}
+
+// metricPrefixes are the approved per-binary series prefixes.
+var metricPrefixes = []string{"eblocksd_", "eblocksrouter_"}
+
+// metricNameRE is the full required shape of a series name.
+var metricNameRE = regexp.MustCompile(`^(eblocksd|eblocksrouter)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// metricEmitters are the local helper names whose first argument is a
+// series name.
+var metricEmitters = map[string]bool{"counter": true, "gauge": true, "sample": true}
+
+func runMetricName(pass *Pass) error {
+	for _, f := range pass.Files {
+		covered := map[token.Pos]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMetricEmitters(pass, fd, covered)
+			}
+		}
+		checkMetricLiterals(pass, f, covered)
+	}
+	return nil
+}
+
+// hasMetricPrefix reports whether s starts with an approved series
+// prefix.
+func hasMetricPrefix(s string) bool {
+	for _, p := range metricPrefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMetricEmitters validates counter/gauge/sample calls in one
+// function: constant names, approved shape, and single declaration.
+// Argument positions it has judged are recorded in covered so the
+// bare-literal sweep does not double-report them.
+func checkMetricEmitters(pass *Pass, fd *ast.FuncDecl, covered map[token.Pos]bool) {
+	declared := map[string]bool{} // names already HELP/TYPE-declared in this function
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !metricEmitters[id.Name] || len(call.Args) < 2 {
+			return true
+		}
+		// Only local helpers (closures or functions), not arbitrary
+		// same-named methods from other packages.
+		if obj := pass.Info.Uses[id]; obj == nil || obj.Pkg() == nil || obj.Pkg() != pass.Pkg {
+			return true
+		}
+		covered[call.Args[0].Pos()] = true
+		tv, ok := pass.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(call.Args[0].Pos(), "metric name passed to %s must be a compile-time constant string", id.Name)
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRE.MatchString(name) {
+			pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case under an approved prefix (want %s)", name, metricNameRE)
+			return true
+		}
+		if id.Name == "counter" || id.Name == "gauge" {
+			if declared[name] {
+				pass.Reportf(call.Args[0].Pos(), "metric %s is declared (HELP/TYPE) more than once in %s: a series must be registered exactly once", name, fd.Name.Name)
+			}
+			declared[name] = true
+		}
+		return true
+	})
+}
+
+// checkMetricLiterals holds every prefix-bearing bare string literal
+// in the file to the series-name shape, catching typos in raw
+// Fprintf-style emission lines.
+func checkMetricLiterals(pass *Pass, f *ast.File, covered map[token.Pos]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || covered[lit.Pos()] {
+			return true
+		}
+		tv, ok := pass.Info.Types[ast.Expr(lit)]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		s := constant.StringVal(tv.Value)
+		if !hasMetricPrefix(s) {
+			return true
+		}
+		// Only bare names: skip help texts, label sets, format
+		// strings that merely mention a series, and bare prefix
+		// constants themselves.
+		if strings.ContainsAny(s, " \t\n{}#%\"") || strings.HasSuffix(s, "_") {
+			return true
+		}
+		if !metricNameRE.MatchString(s) {
+			pass.Reportf(lit.Pos(), "string %q looks like a metric name but is not snake_case under an approved prefix", s)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		Determinism,
+		ExportedDoc,
+		LockHeld,
+		MetricName,
+		WireVersion,
+	}
+}
+
+// Select resolves a comma-separated list of analyzer names against
+// the suite ("" or "all" selects everything).
+func Select(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+// Package ctxflow is a fixture for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Mint drops the caller's context on the floor.
+func Mint(ctx context.Context) error {
+	_ = ctx.Err()
+	return work(context.Background()) // want `context\.Background\(\) in a function that already has a context\.Context`
+}
+
+// Root is an entry point with no inherited context: minting one here
+// is correct and must not fire.
+func Root() error {
+	return work(context.Background())
+}
+
+// Request builds a context-less request despite having a context.
+func Request(ctx context.Context) (*http.Request, error) {
+	_ = ctx.Err()
+	return http.NewRequest("GET", "http://localhost/", nil) // want `http\.NewRequest in a function with a context\.Context in scope`
+}
+
+// Nap sleeps uncancellably with a context in scope.
+func Nap(ctx context.Context) {
+	_ = ctx.Err()
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a function with a context\.Context in scope`
+}
+
+// Fetch uses the context-less convenience: banned everywhere.
+func Fetch() (*http.Response, error) {
+	return http.Get("http://localhost/") // want `http\.Get bakes in context\.Background`
+}
+
+// Connect dials without cancellation: banned everywhere.
+func Connect() (net.Conn, error) {
+	return net.Dial("tcp", "localhost:1") // want `net\.Dial cannot be cancelled`
+}
+
+// Spawn shows a closure inheriting the outer context flag.
+func Spawn(ctx context.Context) func() error {
+	_ = ctx.Err()
+	return func() error {
+		return work(context.Background()) // want `context\.Background\(\) in a function that already has a context\.Context`
+	}
+}
+
+// Dropped ignores its context parameter.
+func Dropped(ctx context.Context) int { // want `context\.Context parameter ctx is never used`
+	return 1
+}
+
+// Blind documents the drop with a blank identifier: allowed.
+func Blind(_ context.Context) int {
+	return 2
+}

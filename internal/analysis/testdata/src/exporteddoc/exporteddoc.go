@@ -1,0 +1,23 @@
+package exporteddoc // want `package exporteddoc has no package comment`
+
+type Widget struct{} // want `exported type Widget has no doc comment`
+
+func Run() {} // want `exported function Run has no doc comment`
+
+func (Widget) Spin() {} // want `exported method \(Widget\)\.Spin has no doc comment`
+
+func (w *Widget) Stop() {} // want `exported method \(Widget\)\.Stop has no doc comment`
+
+type gear struct{}
+
+func (gear) mesh() {}
+
+func helper() {}
+
+const Limit = 3
+
+// want-above `exported const Limit has no doc comment`
+
+var Registry = map[string]int{}
+
+// want-above `exported var Registry has no doc comment`

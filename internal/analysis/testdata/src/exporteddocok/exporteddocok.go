@@ -1,0 +1,25 @@
+// Package exporteddocok is fully documented; the exporteddoc analyzer
+// must stay silent on it.
+package exporteddocok
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Spin is a documented exported method.
+func (Widget) Spin() {}
+
+// Run is a documented exported function.
+func Run() {}
+
+// Group comments cover every spec inside the declaration.
+const (
+	ModeA = 1
+	ModeB = 2
+)
+
+// Limit is documented individually.
+const Limit = 3
+
+var registry = map[string]int{}
+
+func helper() { _ = registry }

@@ -1,0 +1,10 @@
+// Fixture module for the internal/analysis test harness. It is named
+// "repro" so fixture package paths line up with the real module's:
+// the determinism analyzer keys its pure-package list on
+// repro/internal/... paths and the lockheld analyzer recognizes
+// repro/internal/flight, so fixtures exercise those rules exactly as
+// production code does. The nested go.mod keeps the whole tree out of
+// the parent module's ./... patterns.
+module repro
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package ignores exercises the //eblocks:ignore suppression
+// directives, using lockheld findings as the raw material.
+package ignores
+
+import (
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// Covered has its violation suppressed by a justified ignore on the
+// preceding line; nothing may be reported.
+func Covered(path string) {
+	mu.Lock()
+	defer mu.Unlock()
+	//eblocks:ignore lockheld fixture: demonstrates a standalone suppression line
+	os.Remove(path)
+}
+
+// Trailing suppresses with a same-line directive.
+func Trailing(path string) {
+	mu.Lock()
+	defer mu.Unlock()
+	os.Remove(path) //eblocks:ignore lockheld fixture: same-line suppression
+}
+
+// CoveredAll uses the analyzer wildcard.
+func CoveredAll(path string) {
+	mu.Lock()
+	defer mu.Unlock()
+	os.Remove(path) //eblocks:ignore all fixture: wildcard suppression
+}
+
+// WrongName names a different analyzer, so the finding stands.
+func WrongName(path string) {
+	mu.Lock()
+	defer mu.Unlock()
+	//eblocks:ignore determinism fixture: names the wrong analyzer
+	os.Remove(path) // want `os\.Remove I/O while mu is held`
+}
+
+// Malformed is missing its reason and is itself reported.
+func Malformed() {
+	//eblocks:ignore lockheld
+	_ = 0 // want-above `malformed //eblocks:ignore`
+}

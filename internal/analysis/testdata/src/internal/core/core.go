@@ -1,0 +1,128 @@
+// Package core is a determinism fixture: its import path is on the
+// analyzer's pure-package list, so every rule applies without a
+// //eblocks:pure marker.
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stamp depends on the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want `pure package calls time\.Now`
+}
+
+// Jitter draws from the global random source.
+func Jitter() int {
+	return rand.Intn(8) // want `pure package calls global rand\.Intn`
+}
+
+// Seeded uses a caller-owned seeded generator: allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("HOME") // want `pure package calls os\.Getenv`
+}
+
+// HashKeys writes map keys into a hasher in iteration order.
+func HashKeys(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order feeds hasher h`
+	}
+	return h.Sum(nil)
+}
+
+// HashEntries formats map entries into a hasher via fmt.
+func HashEntries(m map[string]int) []byte {
+	h := sha256.New()
+	for k, v := range m {
+		fmt.Fprintf(h, "%s=%d", k, v) // want `map iteration order feeds hasher h via fmt\.Fprintf`
+	}
+	return h.Sum(nil)
+}
+
+// Keys collects map keys without sorting them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to out which is never sorted`
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the sanctioned idiom, no finding.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render accumulates map entries into an outer builder.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration order is written into b`
+	}
+	return b.String()
+}
+
+// EncodeEach marshals values in map iteration order.
+func EncodeEach(m map[string]int, sink func([]byte)) {
+	for _, v := range m {
+		b, _ := json.Marshal(v) // want `map iteration order reaches encoding/json\.Marshal`
+		sink(b)
+	}
+}
+
+// Count observes only the number of iterations: order cannot leak.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sink holds an accumulating buffer field for the selector-root case.
+type Sink struct {
+	buf bytes.Buffer
+}
+
+// Fill writes map entries into a struct-field buffer declared outside
+// the loop.
+func (s *Sink) Fill(m map[string]int) {
+	for k := range m {
+		s.buf.WriteString(k) // want `map iteration order is written into s\.buf`
+	}
+}
+
+// Stream leaks iteration order into a caller-supplied io.Writer.
+func Stream(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `map iteration order is written into w via fmt\.Fprintln`
+	}
+}
+
+// Splice writes via io.WriteString into an outer builder.
+func Splice(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		io.WriteString(b, k) // want `map iteration order is written into b via io\.WriteString`
+	}
+}

@@ -1,0 +1,12 @@
+// Package flight is a fixture stub of the repository's single-flight
+// package, present under the same import path so the lockheld
+// analyzer's flight-call rule can be exercised from fixtures.
+package flight
+
+// Group coalesces duplicate calls (stub: it just runs the function).
+type Group struct{}
+
+// Do runs fn; the real implementation single-flights it per key.
+func (g *Group) Do(key string, fn func() (int, error)) (int, error) {
+	return fn()
+}

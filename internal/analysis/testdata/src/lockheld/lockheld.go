@@ -1,0 +1,178 @@
+// Package lockheld is a fixture for the lockheld analyzer.
+package lockheld
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// S couples a mutex with the blocking resources the fixtures poke.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	g  flight.Group
+}
+
+// Remove does file I/O inside the critical section.
+func (s *S) Remove(path string) {
+	s.mu.Lock()
+	os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// RemoveAfter unlocks before the I/O: allowed.
+func (s *S) RemoveAfter(path string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	os.Remove(path)
+}
+
+// DeferRemove holds the lock to function end via defer.
+func (s *S) DeferRemove(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+}
+
+// Env reads an allowlisted os function under the lock: allowed.
+func (s *S) Env() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Getenv("HOME")
+}
+
+// Send performs a channel send under the lock.
+func (s *S) Send(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while s\.mu is held`
+}
+
+// Recv performs a channel receive under the lock.
+func (s *S) Recv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s\.mu is held`
+}
+
+// Wait blocks on a select with no default under the lock.
+func (s *S) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case <-s.ch:
+	}
+}
+
+// Poll selects with a default case: non-blocking, allowed.
+func (s *S) Poll() (v int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v = <-s.ch:
+		ok = true
+	default:
+	}
+	return v, ok
+}
+
+// Drain ranges over a channel under the lock.
+func (s *S) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want `range over a channel while s\.mu is held`
+	}
+}
+
+// Sleep sleeps inside the critical section.
+func (s *S) Sleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// Flight calls into the single-flight package under the lock.
+func (s *S) Flight(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.Do(key, func() (int, error) { return 1, nil }) // want `single-flight call flight\.Do while s\.mu is held`
+}
+
+// Spawn launches a goroutine under the lock: the goroutine body runs
+// concurrently and does not extend this critical section.
+func (s *S) Spawn(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go os.Remove(path)
+}
+
+// RW shows read locks are held to the same rules.
+func (s *S) RW() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want `channel receive while s\.rw is held`
+}
+
+// Branch keeps the lock held across control flow: an unlock on only
+// one path does not end the region, so findings fire in nested blocks
+// and after the branch.
+func (s *S) Branch(cond bool, path string) {
+	s.mu.Lock()
+	if cond {
+		os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+	} else {
+		s.mu.Unlock()
+	}
+	for i := 0; i < 2; i++ {
+		os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+	}
+}
+
+// Pick scans switch and type-switch bodies with the lock held.
+func (s *S) Pick(v any, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch v := v.(type) {
+	case string:
+		os.Remove(v) // want `os\.Remove I/O while s\.mu is held`
+	default:
+		_ = v
+	}
+	switch path {
+	case "":
+	default:
+		os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+	}
+}
+
+// Nested scans plain blocks and labeled statements.
+func (s *S) Nested(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	{
+		os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+	}
+loop:
+	for range [1]int{} {
+		os.Remove(path) // want `os\.Remove I/O while s\.mu is held`
+		break loop
+	}
+}
+
+// Gather hits the remaining blocking-call classifications.
+func (s *S) Gather(wg *sync.WaitGroup, r io.Reader, w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait()                     // want `blocking sync wait Wait while s\.mu is held`
+	io.Copy(w, r)                 // want `io\.Copy while s\.mu is held`
+	http.Get("http://localhost/") // want `net/http call Get while s\.mu is held`
+	cmd := exec.Command("true")   // want `subprocess call exec\.Command while s\.mu is held`
+	cmd.Run()                     // want `subprocess call exec\.Run while s\.mu is held`
+}

@@ -1,0 +1,35 @@
+// Package metricname is a fixture for the metricname analyzer, built
+// around the repo's local counter/gauge/sample exporter helpers.
+package metricname
+
+import (
+	"fmt"
+	"io"
+)
+
+// Emit renders a tiny exporter in the repository's helper idiom.
+func Emit(w io.Writer, v int) {
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("eblocksd_requests_total", "Requests served.")
+	counter("eblocksd_BadName_total", "Series with an uppercase segment.") // want `metric name "eblocksd_BadName_total" is not snake_case`
+	gauge("eblocksd_queue_depth", "Current queue depth.")
+	gauge("eblocksd_queue_depth", "Same series declared again.") // want `metric eblocksd_queue_depth is declared \(HELP/TYPE\) more than once`
+	name := "eblocksd_dynamic_total"
+	counter(name, "Non-constant series name.") // want `metric name passed to counter must be a compile-time constant`
+}
+
+// Raw writes a series line without the helpers; prefix-bearing
+// literals are still held to the naming shape.
+func Raw(w io.Writer, v int) {
+	fmt.Fprintf(w, "%s %d\n", "eblocksrouter_picks-total", v) // want `string "eblocksrouter_picks-total" looks like a metric name`
+}
+
+// Unprefixed literals are out of scope for the analyzer.
+func Unprefixed() string {
+	return "other_series_total"
+}

@@ -1,0 +1,9 @@
+package puredir
+
+import "time"
+
+// Uptime lives in a file without the //eblocks:pure directive: the
+// determinism rules do not apply here and nothing may be reported.
+func Uptime() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package puredir exercises the file-level purity opt-in: the package
+// is not on the pure-package list, so only files carrying the
+// //eblocks:pure directive are checked.
+//
+//eblocks:pure
+package puredir
+
+import "time"
+
+// Stamp is in an opted-in file, so the clock rule fires.
+func Stamp() int64 {
+	return time.Now().Unix() // want `pure package calls time\.Now`
+}

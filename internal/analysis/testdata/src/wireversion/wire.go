@@ -1,0 +1,84 @@
+// Package wireversion is a fixture for the wireversion analyzer.
+package wireversion
+
+import "time"
+
+// Good is a wire struct whose marker hash matches its schema; nothing
+// may be reported for it.
+//
+//eblocks:wire good.v1 719c08f0
+type Good struct {
+	V    int    `json:"v"`
+	Name string `json:"name"`
+}
+
+// Stale's schema changed after its marker was written.
+//
+//eblocks:wire stale.v1 deadbeef
+type Stale struct { // want `wire form stale\.v1: struct schema hash is [0-9a-f]{8} but the marker says deadbeef`
+	V int `json:"v"`
+}
+
+// Nested embeds a same-package struct; its hash covers Inner's fields
+// and this marker is correct.
+//
+//eblocks:wire nested.v1 8905293e
+type Nested struct {
+	In Inner `json:"in"`
+}
+
+// Inner is part of Nested's expanded schema.
+type Inner struct {
+	A string `json:"a"`
+}
+
+// Broken carries a marker missing its hash field.
+//
+//eblocks:wire broken.v1
+type Broken struct{} // want-above `malformed //eblocks:wire marker`
+
+// Shouty uses a stage name outside the lower-case dotted form.
+//
+//eblocks:wire Shouty.v1 deadbeef
+type Shouty struct{} // want-above `wire stage "Shouty\.v1" is not a versioned stage name`
+
+// ShortHash uses a hash of the wrong shape.
+//
+//eblocks:wire short.v1 abc
+type ShortHash struct{} // want-above `wire schema hash "abc" is not 8 lower-case hex digits`
+
+// NotStruct is marked but is not a struct.
+//
+//eblocks:wire notstruct.v1 deadbeef
+type NotStruct int // want `//eblocks:wire marker on NotStruct, which is not a struct`
+
+// Plain has no marker and is never examined.
+type Plain struct {
+	X int
+}
+
+// Composite exercises every type shape the schema renderer handles:
+// pointers, slices, arrays, maps, a cross-package named type, and a
+// same-package named non-struct; its marker hash is correct.
+//
+//eblocks:wire composite.v1 23b80678
+type Composite struct {
+	P  *int             `json:"p"`
+	S  []string         `json:"s"`
+	A  [4]byte          `json:"a"`
+	M  map[string]Inner `json:"m"`
+	T  time.Time        `json:"t"`
+	ID Ident            `json:"id"`
+}
+
+// Ident is a same-package named non-struct, hashed by its underlying
+// shape so renaming the alias does not move the hash.
+type Ident string
+
+// Tree is self-referential, exercising the cycle guard; its marker
+// hash is correct.
+//
+//eblocks:wire tree.v1 39fe42a8
+type Tree struct {
+	Kids []Tree `json:"kids"`
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls of function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the defining package path of fn, or "" for
+// builtins and error.Error.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isBuiltin reports whether id resolves to a language builtin
+// (append, len, ...).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParam returns the *types.Var of the first context.Context
+// parameter in the function type ft, or nil.
+func ctxParam(sig *types.Signature) *types.Var {
+	if sig == nil {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// namedTypeIs reports whether t (pointers stripped) is the named type
+// pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// namedTypePkg returns the defining package path of t (pointers
+// stripped) when t is a named type, else "".
+func namedTypePkg(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isHasherType reports whether t is a hash-producing sink: the
+// hash.Hash interface itself or any named type defined under hash/ or
+// crypto/ (sha256 digests and friends).
+func isHasherType(t types.Type) bool {
+	p := namedTypePkg(t)
+	return p == "hash" || strings.HasPrefix(p, "hash/") || p == "crypto" || strings.HasPrefix(p, "crypto/")
+}
+
+// exprString renders a (small) expression for use in lock-path
+// identity and diagnostics: identifiers and selector chains come out
+// as written; anything else becomes a placeholder.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	default:
+		return "…"
+	}
+}

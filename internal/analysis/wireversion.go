@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// WireVersion enforces wire-form versioning of persisted store
+// artifacts: a struct marked
+//
+//	//eblocks:wire <stage>.vN <hash8>
+//
+// is the serialized shape of a versioned store stage. The analyzer
+// recomputes an 8-hex-digit schema hash over the struct's fields
+// (names, canonical types with same-package named structs expanded
+// recursively, and tags) and fails when it no longer matches the
+// marker — the signal that the schema changed and the stage version
+// must be bumped so old entries miss instead of decoding wrongly.
+var WireVersion = &Analyzer{
+	Name: "wireversion",
+	Doc: "structs serialized into versioned store stages carry an //eblocks:wire " +
+		"marker whose schema hash must match the struct; a mismatch means the wire " +
+		"form changed without a version bump",
+	Run: runWireVersion,
+}
+
+// wireMarkerRE matches one marker comment line:
+// //eblocks:wire <stage>.vN <hash8>.
+var wireMarkerRE = regexp.MustCompile(`^//eblocks:wire\s+(\S+)\s+(\S+)\s*$`)
+
+// wireStageRE is the required shape of a stage name: lower-case
+// dotted name with a .vN version suffix.
+var wireStageRE = regexp.MustCompile(`^[a-z][a-z0-9_-]*\.v[0-9]+$`)
+
+// wireHashRE is the required shape of the schema hash: the first 8
+// hex digits of the sha256 of the canonical schema string.
+var wireHashRE = regexp.MustCompile(`^[0-9a-f]{8}$`)
+
+func runWireVersion(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkWireMarker(pass, gd, ts)
+			}
+		}
+	}
+	return nil
+}
+
+// checkWireMarker validates one type declaration's marker, if any.
+func checkWireMarker(pass *Pass, gd *ast.GenDecl, ts *ast.TypeSpec) {
+	doc := ts.Doc
+	if doc == nil {
+		doc = gd.Doc
+	}
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, "//eblocks:wire") {
+			continue
+		}
+		m := wireMarkerRE.FindStringSubmatch(c.Text)
+		if m == nil {
+			pass.Reportf(c.Pos(), "malformed //eblocks:wire marker: want \"//eblocks:wire <stage>.vN <hash8>\"")
+			return
+		}
+		stage, want := m[1], m[2]
+		if !wireStageRE.MatchString(stage) {
+			pass.Reportf(c.Pos(), "wire stage %q is not a versioned stage name (want e.g. \"response.v1\")", stage)
+			return
+		}
+		if !wireHashRE.MatchString(want) {
+			pass.Reportf(c.Pos(), "wire schema hash %q is not 8 lower-case hex digits", want)
+			return
+		}
+		obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			return
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(ts.Pos(), "//eblocks:wire marker on %s, which is not a struct", ts.Name.Name)
+			return
+		}
+		got := WireSchemaHash(st, pass.Pkg)
+		if got != want {
+			pass.Reportf(ts.Pos(), "wire form %s: struct schema hash is %s but the marker says %s — the serialized shape of %s changed; bump the stage version everywhere it is read or written and update the marker to %s",
+				stage, got, want, ts.Name.Name, got)
+		}
+		return
+	}
+}
+
+// WireSchemaHash computes the 8-hex-digit schema hash of a wire
+// struct: sha256 over the canonical field rendering, truncated.
+// Exported so tests (and the fix workflow) can print expected hashes.
+func WireSchemaHash(st *types.Struct, pkg *types.Package) string {
+	var b strings.Builder
+	writeStructSchema(&b, st, pkg, map[*types.Named]bool{})
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:4])
+}
+
+// writeStructSchema renders one struct's schema: one line per field
+// with name, canonical type, and tag. Same-package named structs are
+// expanded in place so a change in a nested wire struct changes the
+// parent's hash; cross-package types render as their path-qualified
+// name (they version independently).
+func writeStructSchema(b *strings.Builder, st *types.Struct, pkg *types.Package, seen map[*types.Named]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() {
+			b.WriteString("embedded ")
+		}
+		b.WriteString(f.Name())
+		b.WriteByte(' ')
+		writeTypeSchema(b, f.Type(), pkg, seen)
+		if tag := st.Tag(i); tag != "" {
+			b.WriteByte(' ')
+			b.WriteString(tag)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// writeTypeSchema renders one field type canonically.
+func writeTypeSchema(b *strings.Builder, t types.Type, pkg *types.Package, seen map[*types.Named]bool) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		b.WriteByte('*')
+		writeTypeSchema(b, t.Elem(), pkg, seen)
+	case *types.Slice:
+		b.WriteString("[]")
+		writeTypeSchema(b, t.Elem(), pkg, seen)
+	case *types.Array:
+		fmt.Fprintf(b, "[%d]", t.Len())
+		writeTypeSchema(b, t.Elem(), pkg, seen)
+	case *types.Map:
+		b.WriteString("map[")
+		writeTypeSchema(b, t.Key(), pkg, seen)
+		b.WriteByte(']')
+		writeTypeSchema(b, t.Elem(), pkg, seen)
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == pkg {
+			if under, ok := t.Underlying().(*types.Struct); ok {
+				if seen[t] {
+					b.WriteString(obj.Name()) // cycle: reference by name
+					return
+				}
+				seen[t] = true
+				b.WriteString("struct{\n")
+				writeStructSchema(b, under, pkg, seen)
+				b.WriteByte('}')
+				delete(seen, t)
+				return
+			}
+			// Same-package named non-struct (e.g. a string alias):
+			// hash its underlying shape, not its name.
+			writeTypeSchema(b, t.Underlying(), pkg, seen)
+			return
+		}
+		b.WriteString(types.TypeString(t, nil))
+	default:
+		b.WriteString(types.TypeString(t, func(p *types.Package) string { return p.Path() }))
+	}
+}

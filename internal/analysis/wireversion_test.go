@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"regexp"
+	"testing"
+)
+
+// mkStruct builds a *types.Struct from (name, type, tag) triples.
+func mkStruct(fields ...[3]any) *types.Struct {
+	var vars []*types.Var
+	var tags []string
+	for _, f := range fields {
+		vars = append(vars, types.NewField(token.NoPos, nil, f[0].(string), f[1].(types.Type), false))
+		tags = append(tags, f[2].(string))
+	}
+	return types.NewStruct(vars, tags)
+}
+
+func TestWireSchemaHashShape(t *testing.T) {
+	st := mkStruct([3]any{"V", types.Typ[types.Int], `json:"v"`})
+	h := WireSchemaHash(st, nil)
+	if !regexp.MustCompile(`^[0-9a-f]{8}$`).MatchString(h) {
+		t.Fatalf("hash %q is not 8 lower-case hex digits", h)
+	}
+	if again := WireSchemaHash(st, nil); again != h {
+		t.Fatalf("hash is not stable: %s then %s", h, again)
+	}
+}
+
+// TestWireSchemaHashSensitivity verifies the hash moves on every kind
+// of schema change a wire struct can undergo — a rename, a type
+// change, a tag change, a new field — because each one changes what
+// old persisted entries would decode into.
+func TestWireSchemaHashSensitivity(t *testing.T) {
+	base := mkStruct([3]any{"V", types.Typ[types.Int], `json:"v"`})
+	variants := map[string]*types.Struct{
+		"renamed field": mkStruct([3]any{"W", types.Typ[types.Int], `json:"v"`}),
+		"changed type":  mkStruct([3]any{"V", types.Typ[types.Int64], `json:"v"`}),
+		"changed tag":   mkStruct([3]any{"V", types.Typ[types.Int], `json:"version"`}),
+		"added field": mkStruct(
+			[3]any{"V", types.Typ[types.Int], `json:"v"`},
+			[3]any{"Name", types.Typ[types.String], `json:"name"`},
+		),
+	}
+	h := WireSchemaHash(base, nil)
+	for label, st := range variants {
+		if got := WireSchemaHash(st, nil); got == h {
+			t.Errorf("%s: hash did not change (still %s)", label, h)
+		}
+	}
+}
+
+func TestAllAnalyzersDistinctAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(seen))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	for _, names := range []string{"", "all"} {
+		got, err := Select(names)
+		if err != nil || len(got) != len(All()) {
+			t.Fatalf("Select(%q) = %d analyzers, err %v; want the full suite", names, len(got), err)
+		}
+	}
+	got, err := Select("lockheld, determinism")
+	if err != nil || len(got) != 2 || got[0].Name != "lockheld" || got[1].Name != "determinism" {
+		t.Fatalf("Select(lockheld, determinism) = %v, %v", got, err)
+	}
+	if _, err := Select("nosuch"); err == nil {
+		t.Fatal("Select(nosuch) did not fail")
+	}
+}

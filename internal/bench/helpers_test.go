@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestBestRatioKeepsLargestRound(t *testing.T) {
+	vals := []float64{1.5, 7.25, 3.0}
+	i := 0
+	got := BestRatio(len(vals), func() float64 { v := vals[i]; i++; return v })
+	if got != 7.25 {
+		t.Fatalf("BestRatio = %v, want 7.25", got)
+	}
+	if i != len(vals) {
+		t.Fatalf("measure ran %d times, want %d", i, len(vals))
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	if got := MedianDuration(nil); got != 0 {
+		t.Errorf("MedianDuration(nil) = %v, want 0", got)
+	}
+	odd := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if got := MedianDuration(odd); got != 2*time.Second {
+		t.Errorf("odd median = %v, want 2s", got)
+	}
+	even := []time.Duration{4 * time.Second, time.Second, 3 * time.Second, 2 * time.Second}
+	if got := MedianDuration(even); got != 3*time.Second {
+		t.Errorf("even (upper) median = %v, want 3s", got)
+	}
+}
+
+// TestOptionOverrides pins the non-default branch of every option
+// getter: an explicitly set field must come back verbatim, never the
+// default.
+func TestOptionOverrides(t *testing.T) {
+	cons := core.Constraints{MaxInputs: 7, MaxOutputs: 5}
+
+	ab := AblationOptions{Sizes: []int{4}, DesignsPerSize: 9, Constraints: cons}
+	if got := ab.sizes(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("AblationOptions.sizes() = %v", got)
+	}
+	if ab.perSize() != 9 || ab.constraints() != cons {
+		t.Errorf("AblationOptions overrides not honored: %d %v", ab.perSize(), ab.constraints())
+	}
+
+	sc := ScalingOptions{Sizes: []int{25}, Constraints: cons}
+	if got := sc.sizes(); len(got) != 1 || got[0] != 25 {
+		t.Errorf("ScalingOptions.sizes() = %v", got)
+	}
+	if sc.constraints() != cons {
+		t.Errorf("ScalingOptions.constraints() = %v", sc.constraints())
+	}
+
+	sw := SweepOptions{Shapes: [][2]int{{5, 6}}, RandomSizes: []int{12}, DesignsPerSize: 3}
+	if got := sw.shapes(); len(got) != 1 || got[0] != [2]int{5, 6} {
+		t.Errorf("SweepOptions.shapes() = %v", got)
+	}
+	if got := sw.randomSizes(); len(got) != 1 || got[0] != 12 {
+		t.Errorf("SweepOptions.randomSizes() = %v", got)
+	}
+	if sw.perSize() != 3 {
+		t.Errorf("SweepOptions.perSize() = %d", sw.perSize())
+	}
+
+	t1 := Table1Options{Constraints: cons, ExhaustiveLimit: 11, ExhaustiveTimeout: time.Second}
+	if t1.constraints() != cons || t1.limit() != 11 || t1.timeout() != time.Second {
+		t.Errorf("Table1Options overrides not honored: %v %d %v", t1.constraints(), t1.limit(), t1.timeout())
+	}
+
+	t2 := Table2Options{Constraints: cons, Scale: 0.25, Sizes: []int{8}, ExhaustiveLimit: 10, ExhaustiveTimeout: 2 * time.Second}
+	if t2.constraints() != cons || t2.scale() != 0.25 || t2.limit() != 10 || t2.timeout() != 2*time.Second {
+		t.Errorf("Table2Options overrides not honored")
+	}
+	if got := t2.sizes(); len(got) != 1 || got[0] != 8 {
+		t.Errorf("Table2Options.sizes() = %v", got)
+	}
+}
+
+// TestOptionDefaults pins the zero-value defaults the benches rely on.
+func TestOptionDefaults(t *testing.T) {
+	if got := (Table2Options{}).scale(); got != 1 {
+		t.Errorf("default scale = %v, want 1", got)
+	}
+	if got := (Table1Options{}).timeout(); got != 2*time.Minute {
+		t.Errorf("default table1 timeout = %v", got)
+	}
+	if got := (Table2Options{}).timeout(); got != time.Minute {
+		t.Errorf("default table2 timeout = %v", got)
+	}
+	if got := (AblationOptions{}).constraints(); got != core.DefaultConstraints {
+		t.Errorf("default ablation constraints = %v", got)
+	}
+	if got := (SweepOptions{}).perSize(); got != 50 {
+		t.Errorf("default sweep perSize = %d", got)
+	}
+}

@@ -166,3 +166,67 @@ func TestPanicReleasesKey(t *testing.T) {
 		t.Errorf("%d flights left after panic", g.Inflight())
 	}
 }
+
+// TestDistinctKeysRunIndependently: a stalled flight on one key must
+// not delay computations under other keys.
+func TestDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), "slow", func() (int, error) {
+		close(started)
+		<-release
+		return 0, nil
+	})
+	<-started
+
+	done := make(chan int, 1)
+	go func() {
+		v, shared, err := g.Do(context.Background(), "fast", func() (int, error) { return 42, nil })
+		if shared || err != nil {
+			t.Errorf("fast key: shared=%v err=%v, want a fresh successful flight", shared, err)
+		}
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("fast key returned %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation under a distinct key was blocked by an unrelated in-flight key")
+	}
+	close(release)
+}
+
+// TestNoCachingAcrossFlights: a key is forgotten the moment its
+// flight completes, so sequential calls recompute.
+func TestNoCachingAcrossFlights(t *testing.T) {
+	var g Group[int]
+	runs := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			runs++
+			return runs, nil
+		})
+		if shared || err != nil || v != i+1 {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("fn ran %d times, want 3 (no caching)", runs)
+	}
+}
+
+// TestWinnerIgnoresOwnCancelledContext: the context only governs
+// waiting — the caller that starts the computation owns it and runs
+// it to completion even if its own context is already expired.
+func TestWinnerIgnoresOwnCancelledContext(t *testing.T) {
+	var g Group[string]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, shared, err := g.Do(ctx, "k", func() (string, error) { return "ran", nil })
+	if shared || err != nil || v != "ran" {
+		t.Fatalf("winner with cancelled ctx: v=%q shared=%v err=%v; want the computation to run", v, shared, err)
+	}
+}

@@ -1,3 +1,9 @@
+// This file is the deterministic half of the load generator: a (mix,
+// seed, index) triple always yields the same request, so runs are
+// reproducible and SLO comparisons are apples-to-apples. The
+// determinism analyzer holds it to the pure-package rules.
+//
+//eblocks:pure
 package load
 
 import (

@@ -27,6 +27,8 @@ const stageInfeasible = "infeasible.v1"
 // the schema like every other stage payload; the message is carried
 // for operators inspecting the store, not trusted on the way back out
 // (hits return the canonical synth.ErrUnrealizable).
+//
+//eblocks:wire infeasible.v1 f6bfe37e
 type infeasibleMarker struct {
 	V     int    `json:"v"`
 	Error string `json:"error"`

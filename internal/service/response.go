@@ -14,6 +14,8 @@ import (
 // -json. Responses are fully deterministic for a given request, which
 // is what makes them cacheable byte-for-byte. The embedded
 // PartitionResponse inlines the partitioning summary fields.
+//
+//eblocks:wire response.v1 19235eb6
 type Response struct {
 	PartitionResponse
 	// Synthesized is the optimized design in the netlist JSON wire

@@ -48,6 +48,8 @@ func simIndexKey(fp, cfgCanon, stimHash string) store.Key {
 // snapshotIndex is the simindex.v1 wire form: the cycles at which
 // checkpoints of one (design, config, stimuli) run exist, sorted
 // ascending.
+//
+//eblocks:wire simindex.v1 5e939c33
 type snapshotIndex struct {
 	Cycles []int64 `json:"cycles"`
 }

@@ -48,6 +48,8 @@ type snapInst struct {
 // snapshotPayload is the simstate.v1 JSON body: everything needed to
 // rebuild a Simulator mid-run such that continuing produces the exact
 // change stream the uninterrupted run would have produced.
+//
+//eblocks:wire simstate.v1 b7eb4351
 type snapshotPayload struct {
 	Version     int         `json:"version"`
 	Fingerprint string      `json:"fingerprint"`

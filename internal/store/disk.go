@@ -294,6 +294,7 @@ func (d *Disk) evictFailedRead(id string, gen uint64, err error) {
 		// the lock, so we cannot race a re-install's rename) to keep
 		// disk usage within accounting.
 		d.corruptEvicted++
+		//eblocks:ignore lockheld deleting under the lock is the crash-safety design: it cannot race a re-install's rename, and a same-filesystem unlink is not blocking I/O in any meaningful sense
 		os.Remove(d.entryPath(id))
 	}
 }
@@ -347,6 +348,7 @@ func (d *Disk) install(id string, raw []byte) (uint64, error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("store: put on closed store")
 	}
+	//eblocks:ignore lockheld the rename must be under the mutex so concurrent corrupt-entry eviction can never delete a freshly written replacement; the expensive write+sync already happened outside the lock
 	if err := os.Rename(tmpName, final); err != nil {
 		d.mu.Unlock()
 		os.Remove(tmpName)

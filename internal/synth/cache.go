@@ -157,6 +157,8 @@ func (ca *Captured) PartitionCached(ctx context.Context, cache StageCache) (*Par
 // identified by block name, not NodeID: the fingerprint two designs
 // share is insertion-order independent, so their NodeIDs may differ
 // while their names cannot.
+//
+//eblocks:wire partitioned.v2 a11c0771
 type resultWire struct {
 	Version      int        `json:"v"`
 	Algorithm    string     `json:"algorithm"`

@@ -98,6 +98,8 @@ func (p *Partitioned) MergeCached(cache StageCache) (*Merged, MergeStats, error)
 // exactly the maps the artifact was built with. Keeping names and
 // node IDs out of the payload is what lets isomorphic subgraphs of
 // different designs share one artifact.
+//
+//eblocks:wire partition.v1 be788cba
 type mergedWire struct {
 	Version int    `json:"v"`
 	Program string `json:"program"`

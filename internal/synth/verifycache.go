@@ -44,6 +44,8 @@ func (ca *Captured) VerifyStageKey(opts VerifyOptions) StageKey {
 
 // verifiedWire is the persisted encoding of a verification outcome.
 // The stimulus schedule itself is part of the key, not the payload.
+//
+//eblocks:wire verified.v1 bd0f5897
 type verifiedWire struct {
 	Version    int        `json:"v"`
 	Stimuli    int        `json:"stimuli"`
